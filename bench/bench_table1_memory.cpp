@@ -1,0 +1,87 @@
+// Table I: per-process memory usage (MB) of COSMA and CA3DMM for the four
+// problem classes, P = 192..3072, library-native layouts.
+//
+// Paper shape to reproduce:
+//   * square: CA3DMM always uses less memory than COSMA;
+//   * other classes: CA3DMM uses more memory at small P (replication +
+//     Cannon dual buffers) but its usage falls faster with P and drops below
+//     COSMA's by the largest process counts;
+//   * CA3DMM shows big drops where the process grid changes shape.
+#include "bench_common.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Prediction;
+using costmodel::Workload;
+using simmpi::Machine;
+
+// Paper-reported values (MB) for eyeball comparison.
+struct PaperRow {
+  const char* cls;
+  double cosma[5];
+  double ca3dmm[5];
+};
+constexpr PaperRow kPaper[] = {
+    {"square  (50k,50k,50k)", {2086, 1242, 770, 484, 292}, {1490, 696, 398, 137, 106}},
+    {"large-K (6k,6k,1.2M)", {848, 561, 424, 283, 171}, {1987, 1397, 497, 284, 125}},
+    {"large-M (1.2M,6k,6k)", {848, 561, 424, 283, 171}, {1428, 851, 710, 213, 102}},
+    {"flat    (100k,100k,5k)", {993, 616, 387, 293, 176}, {1797, 855, 433, 206, 128}},
+};
+
+void print_tables() {
+  const Machine mach = Machine::phoenix_mpi();
+  std::printf(
+      "\n=== Table I: memory per process (MB), native layouts ===\n"
+      "(\"paper\" columns are the published measurements for shape "
+      "comparison)\n\n");
+  TextTable t({"class", "P", "CA3DMM grid", "CA3DMM MB", "paper", "COSMA MB",
+               "paper", "CA3DMM<COSMA"});
+  const auto ps = paper_process_counts();
+  int row = 0;
+  for (const ProblemClass& pc : paper_classes()) {
+    for (size_t i = 0; i < ps.size(); ++i) {
+      const int P = ps[i];
+      Workload w{pc.m, pc.n, pc.k};
+      const Prediction ca = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+      const Prediction co = costmodel::predict(Algo::kCosma, w, P, mach);
+      t.add_row({pc.name, strprintf("%d", P), grid_str(ca.grid),
+                 format_mb(static_cast<double>(ca.peak_bytes)),
+                 strprintf("%.0f", kPaper[row].ca3dmm[i]),
+                 format_mb(static_cast<double>(co.peak_bytes)),
+                 strprintf("%.0f", kPaper[row].cosma[i]),
+                 ca.peak_bytes < co.peak_bytes ? "yes" : "no"});
+    }
+    row++;
+  }
+  t.print();
+}
+
+void register_benchmarks() {
+  const Machine mach = Machine::phoenix_mpi();
+  for (const ProblemClass& pc : paper_classes())
+    for (int P : paper_process_counts()) {
+      Workload w{pc.m, pc.n, pc.k};
+      const Prediction ca = costmodel::predict(Algo::kCa3dmm, w, P, mach);
+      // Report memory as a counter on a zero-time benchmark.
+      benchmark::RegisterBenchmark(
+          strprintf("table1/CA3DMM/%s/P=%d", pc.name, P).c_str(),
+          [bytes = ca.peak_bytes](benchmark::State& st) {
+            for (auto _ : st) {
+            }
+            st.counters["peak_MB"] =
+                static_cast<double>(bytes) / (1024.0 * 1024.0);
+          })
+          ->Iterations(1);
+    }
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  ca3dmm::bench::register_benchmarks();
+  return ca3dmm::bench::run_bench_main(argc, argv,
+                                       ca3dmm::bench::print_tables);
+}

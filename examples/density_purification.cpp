@@ -1,0 +1,125 @@
+// Density-matrix purification with repeated square PGEMMs.
+//
+// The paper's original motivation is the SPARC density functional theory
+// code, where CA3DMM serves "repeated matrix multiplications in density
+// matrix purification" (§V, citing Palser & Manolopoulos). This example runs
+// McWeeny purification,
+//
+//     X_{t+1} = 3 X_t^2 - 2 X_t^3,
+//
+// on a distributed symmetric trial density matrix whose eigenvalues lie in
+// (0, 1). Each iteration uses two CA3DMM multiplications (X^2 = X*X, then
+// X^3 = X^2 * X) with one plan reused throughout — the square problem class
+// of the paper's evaluation. The iteration drives every eigenvalue to 0 or
+// 1, so idempotency error ||X^2 - X||_F -> 0 and trace(X) -> the number of
+// "occupied states".
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/ca3dmm.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "simmpi/cluster.hpp"
+
+using namespace ca3dmm;
+using simmpi::Cluster;
+using simmpi::Comm;
+using simmpi::Machine;
+
+namespace {
+
+/// Builds the trial density matrix: diagonal values cluster half the
+/// spectrum near 0.85 ("occupied") and half near 0.15 ("virtual"), plus
+/// small symmetric noise; Gershgorin keeps all eigenvalues inside (0, 1) and
+/// away from McWeeny's unstable fixed point at 1/2, so purification drives
+/// them quadratically to 1 and 0. trace(X) converges to n/2 occupied states.
+double x0_entry(i64 i, i64 j, i64 n) {
+  const double noise = 0.2 / static_cast<double>(n);
+  const double sym = matrix_entry<double>(77, std::min(i, j), std::max(i, j));
+  const double diag = (i < n / 2) ? 0.85 : 0.15;
+  return (i == j ? diag : 0.0) + noise * sym;
+}
+
+}  // namespace
+
+int main() {
+  const i64 n = 160;
+  const int P = 12;
+  const int iterations = 12;
+
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 4;  // three simulated nodes
+  mach.cores_per_node = 4;
+
+  // The application's layout: 2-D grid blocks, as a DFT code would use.
+  const BlockLayout lay = BlockLayout::grid_2d(n, n, 3, 4);
+  const Ca3dmmPlan plan = Ca3dmmPlan::make(n, n, n, P);
+  std::printf("McWeeny purification, n=%lld, P=%d, grid %d x %d x %d\n",
+              static_cast<long long>(n), P, plan.grid().pm, plan.grid().pn,
+              plan.grid().pk);
+
+  Cluster cl(P, mach);
+  std::vector<double> history_idem(static_cast<size_t>(iterations), 0.0);
+  std::vector<double> history_trace(static_cast<size_t>(iterations), 0.0);
+
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    const i64 local = lay.local_size(me);
+    std::vector<double> x(static_cast<size_t>(local));
+    {
+      i64 pos = 0;
+      for (const Rect& r : lay.rects_of(me))
+        for (i64 i = r.r.lo; i < r.r.hi; ++i)
+          for (i64 j = r.c.lo; j < r.c.hi; ++j)
+            x[static_cast<size_t>(pos++)] = x0_entry(i, j, n);
+    }
+    std::vector<double> x2(static_cast<size_t>(local)),
+        x3(static_cast<size_t>(local));
+
+    for (int t = 0; t < iterations; ++t) {
+      // X2 = X * X ; X3 = X2 * X — two PGEMMs reusing one plan.
+      ca3dmm_multiply<double>(world, plan, false, false, lay, x.data(), lay,
+                              x.data(), lay, x2.data());
+      ca3dmm_multiply<double>(world, plan, false, false, lay, x2.data(), lay,
+                              x.data(), lay, x3.data());
+
+      // Local diagnostics, combined with a small allreduce.
+      double loc[2] = {0.0, 0.0};  // ||X^2-X||_F^2 contribution, trace(Xnew)
+      i64 pos = 0;
+      for (const Rect& r : lay.rects_of(me))
+        for (i64 i = r.r.lo; i < r.r.hi; ++i)
+          for (i64 j = r.c.lo; j < r.c.hi; ++j, ++pos) {
+            const double d = x2[static_cast<size_t>(pos)] -
+                             x[static_cast<size_t>(pos)];
+            loc[0] += d * d;
+            const double xnew = 3.0 * x2[static_cast<size_t>(pos)] -
+                                2.0 * x3[static_cast<size_t>(pos)];
+            x[static_cast<size_t>(pos)] = xnew;
+            if (i == j) loc[1] += xnew;
+          }
+      double glob[2] = {0.0, 0.0};
+      world.allreduce(loc, glob, 2);
+      if (me == 0) {
+        history_idem[static_cast<size_t>(t)] = std::sqrt(glob[0]);
+        history_trace[static_cast<size_t>(t)] = glob[1];
+      }
+    }
+  });
+
+  std::printf("\n iter   ||X^2 - X||_F      trace(X)\n");
+  for (int t = 0; t < iterations; ++t)
+    std::printf("  %2d    %12.6e   %10.4f\n", t,
+                history_idem[static_cast<size_t>(t)],
+                history_trace[static_cast<size_t>(t)]);
+
+  const auto agg = cl.aggregate_stats();
+  std::printf("\nsimulated time for %d purification iterations: %.3f ms\n",
+              iterations, agg.vtime * 1e3);
+
+  const bool converged = history_idem.back() < 1e-8;
+  std::printf("purification %s (idempotency residual %.2e)\n",
+              converged ? "converged" : "DID NOT converge",
+              history_idem.back());
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Render the figure CSVs emitted by the bench binaries as ASCII charts.
+
+Dependency-free (stdlib only), so it runs on the same offline box that
+builds the library:
+
+    ./build/bench/bench_fig3_strong_scaling   # writes fig3_*.csv
+    ./build/bench/bench_fig4_hybrid           # writes fig4_hybrid.csv
+    python3 scripts/plot_figures.py
+
+For publication-quality plots, load the same CSVs in matplotlib/gnuplot —
+columns are (class, P, algo, pct_peak, seconds) for Fig. 3 and
+(class, cores, ca3dmm_pure_s, ca3dmm_hybrid_s, cosma_pure_s, cosma_hybrid_s)
+for Fig. 4.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+WIDTH = 60
+HEIGHT = 14
+MARKS = {"CA3DMM": "*", "COSMA": "o", "CTF": "x"}
+
+
+def ascii_chart(title, series, ylabel, ymax=None):
+    """series: {label: [(x, y), ...]} with shared x values."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts]
+    if not ys:
+        return
+    top = ymax if ymax else max(ys) * 1.05
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    # Draw CA3DMM last so its marker wins where series overlap.
+    for label in sorted(series, key=lambda l: l == "CA3DMM"):
+        pts = series[label]
+        mark = MARKS.get(label, "+")
+        for x, y in pts:
+            col = int((xs.index(x) / max(1, len(xs) - 1)) * (WIDTH - 1))
+            row = HEIGHT - 1 - int(min(y / top, 1.0) * (HEIGHT - 1))
+            grid[row][col] = mark
+    print(f"\n{title}")
+    print(f"  {ylabel} (top = {top:.1f})")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * WIDTH)
+    labels = "  P: " + "  ".join(str(x) for x in xs)
+    print(labels)
+    print("  " + "  ".join(f"{m}={l}" for l, m in MARKS.items()
+                           if l in series))
+
+
+def plot_fig3(path, title):
+    if not os.path.exists(path):
+        print(f"({path} not found — run bench_fig3_strong_scaling first)")
+        return
+    data = defaultdict(lambda: defaultdict(list))  # class -> algo -> pts
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            data[row["class"]][row["algo"]].append(
+                (int(row["P"]), float(row["pct_peak"])))
+    for cls, series in data.items():
+        ascii_chart(f"{title} — {cls.strip()}", series, "% of peak",
+                    ymax=80.0)
+
+
+def plot_fig4(path):
+    if not os.path.exists(path):
+        print(f"({path} not found — run bench_fig4_hybrid first)")
+        return
+    data = defaultdict(lambda: defaultdict(list))
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            cores = int(row["cores"])
+            data[row["class"]]["CA3DMM"].append(
+                (cores, float(row["ca3dmm_hybrid_s"]) /
+                 float(row["ca3dmm_pure_s"])))
+            data[row["class"]]["COSMA"].append(
+                (cores, float(row["cosma_hybrid_s"]) /
+                 float(row["cosma_pure_s"])))
+    for cls, series in data.items():
+        ascii_chart(f"Fig. 4 — {cls.strip()} (hybrid/pure runtime ratio; "
+                    "<1 means hybrid wins)", series, "ratio", ymax=1.3)
+
+
+def main():
+    base = sys.argv[1] if len(sys.argv) > 1 else "."
+    plot_fig3(os.path.join(base, "fig3_native_layout.csv"),
+              "Fig. 3 (native layout)")
+    plot_fig3(os.path.join(base, "fig3_custom_layout.csv"),
+              "Fig. 3 (custom 1-D layout)")
+    plot_fig4(os.path.join(base, "fig4_hybrid.csv"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+// CTF-like 2.5D baseline (paper §II, §IV-A).
+//
+// The Cyclops Tensor Framework implements the 2.5D algorithm for any number
+// of processes, but "is not fine tuned for matrix multiplication" and "its
+// process grid and matrix decomposition may be far from optimal" (paper
+// §IV-A, citing [18]). This baseline reproduces those two properties:
+//
+//  * the grid comes from find_grid_ctf — a shape-oblivious folded processor
+//    grid (near-square 2-D grid x replication depth), not the
+//    surface-minimizing grid;
+//  * each multiply pays an extra internal remapping pass: CTF redistributes
+//    operands into its internal cyclic layout before computing, on top of
+//    any user-layout conversion.
+//
+// The execution core is the same replicate/GEMM/reduce pipeline as the
+// COSMA-like baseline, so the comparison isolates grid choice + remapping
+// overhead — which is what Fig. 3's CTF curves show.
+#pragma once
+
+#include "baselines/cosma_like.hpp"
+
+namespace ca3dmm {
+
+struct CtfPlan {
+  CosmaPlan inner;
+  static CtfPlan make(i64 m, i64 n, i64 k, int nranks) {
+    CtfPlan p{CosmaPlan::make(m, n, k, nranks, find_grid_ctf(m, n, k, nranks))};
+    p.inner.set_ctf_mode(true);  // derated local GEMM (see Machine)
+    return p;
+  }
+};
+
+template <typename T>
+void ctf_multiply(simmpi::Comm& world, const CtfPlan& plan, bool trans_a,
+                  bool trans_b, const BlockLayout& a_layout, const T* a_local,
+                  const BlockLayout& b_layout, const T* b_local,
+                  const BlockLayout& c_layout, T* c_local);
+
+}  // namespace ca3dmm

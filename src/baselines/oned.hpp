@@ -1,0 +1,44 @@
+// 1-D PGEMM algorithms (paper §II).
+//
+// The three classic 1-D schemes, expressed as degenerate grids of the
+// replicate/GEMM/reduce executor:
+//
+//   * m-partitioned (grid P x 1 x 1): every process owns a row panel of A
+//     and C; B is replicated (all-gather).
+//   * n-partitioned (grid 1 x P x 1): column panels of B and C; A is
+//     replicated.
+//   * k-partitioned (grid 1 x 1 x P): panels of A and B along k; partial C
+//     results are reduce-scattered.
+//
+// The paper's unified view contains these as special cases; the grid solver
+// genuinely produces them for tall-and-skinny shapes, and these helpers make
+// the correspondence explicit for tests, examples, and benchmarks.
+#pragma once
+
+#include "baselines/cosma_like.hpp"
+
+namespace ca3dmm {
+
+/// 1-D algorithm that partitions the m dimension (replicates B).
+inline CosmaPlan oned_m_plan(i64 m, i64 n, i64 k, int nranks) {
+  return CosmaPlan::make(m, n, k, nranks,
+                         ProcGrid{static_cast<int>(std::min<i64>(m, nranks)),
+                                  1, 1});
+}
+
+/// 1-D algorithm that partitions the n dimension (replicates A).
+inline CosmaPlan oned_n_plan(i64 m, i64 n, i64 k, int nranks) {
+  return CosmaPlan::make(m, n, k, nranks,
+                         ProcGrid{1,
+                                  static_cast<int>(std::min<i64>(n, nranks)),
+                                  1});
+}
+
+/// 1-D algorithm that partitions the k dimension (reduces C).
+inline CosmaPlan oned_k_plan(i64 m, i64 n, i64 k, int nranks) {
+  return CosmaPlan::make(m, n, k, nranks,
+                         ProcGrid{1, 1,
+                                  static_cast<int>(std::min<i64>(k, nranks))});
+}
+
+}  // namespace ca3dmm

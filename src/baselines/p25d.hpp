@@ -1,0 +1,61 @@
+// The 2.5D matrix multiplication algorithm (Solomonik & Demmel, Euro-Par'11;
+// paper §II) — the algorithm CTF implements.
+//
+// P = q x q x c processes: c replication layers over a square q x q grid.
+// A and B live on layer 0 in q x q blocks ("the matrices are only stored on
+// a subset of processes", as the CA3DMM paper notes); they are broadcast
+// down the layer dimension, each layer performs its 1/c share of the Cannon
+// shift sequence starting from a layer-specific alignment, and the partial C
+// results are reduce-scattered across layers.
+//
+// With c = 1 this is exactly Cannon's 2-D algorithm; with c = P^(1/3) it is
+// the original 3-D algorithm — the trade-off curve the CA3DMM paper's §II
+// describes. Unlike CA3DMM it requires a *square* grid and keeps whole
+// C blocks per process, which is why it degrades for strongly rectangular
+// problems (paper §II, citing Demmel et al.).
+#pragma once
+
+#include <optional>
+
+#include "core/grid_solver.hpp"
+#include "layout/block_layout.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm {
+
+class P25dPlan {
+ public:
+  i64 m() const { return m_; }
+  i64 n() const { return n_; }
+  i64 k() const { return k_; }
+  int nranks() const { return nranks_; }
+  int q() const { return q_; }    ///< square grid side
+  int c() const { return c_; }    ///< replication depth
+  int active() const { return q_ * q_ * c_; }
+
+  /// A and B initial distributions: q x q blocks on layer 0 only.
+  BlockLayout a_native() const;
+  BlockLayout b_native() const;
+  /// Final C: each (i, j) block row-split across the c layers.
+  BlockLayout c_native() const;
+
+  /// Chooses (q, c): maximize utilization with c <= q (the classic 2.5D
+  /// feasibility bound), then minimize the composite grid objective.
+  static P25dPlan make(i64 m, i64 n, i64 k, int nranks,
+                       std::optional<std::pair<int, int>> force_qc = {});
+
+ private:
+  i64 m_ = 0, n_ = 0, k_ = 0;
+  int nranks_ = 0;
+  int q_ = 1, c_ = 1;
+};
+
+/// C = op(A) x op(B) with the 2.5D algorithm; same calling convention as
+/// ca3dmm_multiply.
+template <typename T>
+void p25d_multiply(simmpi::Comm& world, const P25dPlan& plan, bool trans_a,
+                   bool trans_b, const BlockLayout& a_layout, const T* a_local,
+                   const BlockLayout& b_layout, const T* b_local,
+                   const BlockLayout& c_layout, T* c_local);
+
+}  // namespace ca3dmm

@@ -1,0 +1,55 @@
+// Standalone SUMMA baseline (van de Geijn & Watts 1997; paper §II).
+//
+// The classic 2-D algorithm: A, B, C block-distributed on a pr x pc process
+// grid; for each k panel, the owning process column broadcasts its A panel
+// along its process row and the owning process row broadcasts its B panel
+// down its process column, followed by a local rank-kb update. SUMMA cannot
+// exploit extra memory (no k-dimension parallelism), which is exactly the
+// limitation CA3DMM's 3-D organization removes.
+//
+// This implementation handles rectangular process grids with unaligned A/B
+// k-partitions by walking the union of both partitions' panel boundaries.
+#pragma once
+
+#include <optional>
+
+#include "core/grid_solver.hpp"
+#include "layout/block_layout.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm {
+
+class SummaPlan {
+ public:
+  i64 m() const { return m_; }
+  i64 n() const { return n_; }
+  i64 k() const { return k_; }
+  int nranks() const { return nranks_; }
+  int pr() const { return pr_; }
+  int pc() const { return pc_; }
+  int active() const { return pr_ * pc_; }
+
+  BlockLayout a_native() const;
+  BlockLayout b_native() const;
+  BlockLayout c_native() const;
+
+  /// Near-optimal 2-D grid (k never partitioned — SUMMA's limitation).
+  static SummaPlan make(i64 m, i64 n, i64 k, int nranks,
+                        std::optional<std::pair<int, int>> force_grid = {});
+
+ private:
+  i64 m_ = 0, n_ = 0, k_ = 0;
+  int nranks_ = 0;
+  int pr_ = 1, pc_ = 1;
+};
+
+/// C = op(A) x op(B) with SUMMA; same calling convention as ca3dmm_multiply.
+/// `panel_kb` caps the broadcast panel width (0 = largest possible panels,
+/// the setting the paper's §III-E latency analysis assumes).
+template <typename T>
+void summa_multiply(simmpi::Comm& world, const SummaPlan& plan, bool trans_a,
+                    bool trans_b, const BlockLayout& a_layout, const T* a_local,
+                    const BlockLayout& b_layout, const T* b_local,
+                    const BlockLayout& c_layout, T* c_local, i64 panel_kb = 0);
+
+}  // namespace ca3dmm

@@ -1,0 +1,66 @@
+// Error handling for the CA3DMM library.
+//
+// The library throws ca3dmm::Error for user-facing precondition violations
+// (bad matrix dimensions, mismatched layouts, ...) and uses CA_ASSERT for
+// internal invariants that indicate a bug in the library itself.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ca3dmm {
+
+/// Exception thrown on user-facing precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "CA_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Formats like std::format but with printf syntax; small helper to keep the
+/// library dependency-free.
+template <typename... Args>
+std::string strprintf(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+inline std::string strprintf(const char* fmt) { return std::string(fmt); }
+
+}  // namespace ca3dmm
+
+/// Internal invariant check. Aborts: an invariant failure means the library
+/// itself is wrong, and unwinding across rank threads would hide the bug.
+#define CA_ASSERT(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ca3dmm::detail::assert_fail(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define CA_ASSERT_MSG(expr, ...)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ca3dmm::detail::assert_fail(#expr, __FILE__, __LINE__,            \
+                                    ::ca3dmm::strprintf(__VA_ARGS__));    \
+  } while (0)
+
+/// User-facing precondition check: throws ca3dmm::Error.
+#define CA_REQUIRE(expr, ...)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      throw ::ca3dmm::Error(::ca3dmm::strprintf(__VA_ARGS__));            \
+  } while (0)

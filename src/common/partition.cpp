@@ -1,0 +1,46 @@
+#include "common/partition.hpp"
+
+namespace ca3dmm {
+
+// The canonical partition gives the first (n mod p) blocks size ceil(n/p)
+// and the rest size floor(n/p). This matches the paper's ⌈m/p_m⌉ / ⌊m/p_m⌋
+// block-size statement.
+
+i64 block_size(i64 n, i64 p, i64 b) {
+  CA_ASSERT_MSG(p > 0 && b >= 0 && b < p, "n=%lld p=%lld b=%lld",
+                static_cast<long long>(n), static_cast<long long>(p),
+                static_cast<long long>(b));
+  const i64 q = n / p, r = n % p;
+  return q + (b < r ? 1 : 0);
+}
+
+i64 block_start(i64 n, i64 p, i64 b) {
+  CA_ASSERT_MSG(p > 0 && b >= 0 && b <= p, "n=%lld p=%lld b=%lld",
+                static_cast<long long>(n), static_cast<long long>(p),
+                static_cast<long long>(b));
+  const i64 q = n / p, r = n % p;
+  return q * b + (b < r ? b : r);
+}
+
+Range block_range(i64 n, i64 p, i64 b) {
+  return Range{block_start(n, p, b), block_start(n, p, b) + block_size(n, p, b)};
+}
+
+i64 block_of_index(i64 n, i64 p, i64 i) {
+  CA_ASSERT(i >= 0 && i < n);
+  const i64 q = n / p, r = n % p;
+  // First r blocks have size q+1 and cover [0, r*(q+1)).
+  if (q == 0) return i;  // n < p: block b owns index b for b < n
+  const i64 big = r * (q + 1);
+  if (i < big) return i / (q + 1);
+  return r + (i - big) / q;
+}
+
+std::vector<Range> partition(i64 n, i64 p) {
+  std::vector<Range> out;
+  out.reserve(static_cast<size_t>(p));
+  for (i64 b = 0; b < p; ++b) out.push_back(block_range(n, p, b));
+  return out;
+}
+
+}  // namespace ca3dmm

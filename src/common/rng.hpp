@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Tests and benchmarks need reproducible matrices that every rank can
+// generate locally (each rank fills only the entries it owns), so the
+// generator must be cheaply seekable by (row, col) without a shared stream.
+#pragma once
+
+#include <cstdint>
+
+namespace ca3dmm {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Stateless form used to hash
+/// (seed, index) pairs so any element of a virtual random matrix can be
+/// produced independently on any rank.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform value in [-0.5, 0.5) derived from (seed, row, col). All ranks
+/// computing the same (seed, i, j) get the same value, which is how
+/// distributed test matrices stay consistent without communication.
+template <typename T>
+T matrix_entry(std::uint64_t seed, std::int64_t i, std::int64_t j) {
+  const std::uint64_t h =
+      splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i) * 0x100000001b3ULL +
+                                   static_cast<std::uint64_t>(j)));
+  // Top 53 bits -> double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return static_cast<T>(u - 0.5);
+}
+
+/// Small stateful PRNG for shuffles and parameter sampling in tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ = splitmix64(state_);
+    return state_;
+  }
+
+  /// Uniform integer in [lo, hi].
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ca3dmm

@@ -1,0 +1,204 @@
+#include "core/ca3dmm.hpp"
+
+#include <cstring>
+
+#include "simmpi/cluster.hpp"
+
+namespace ca3dmm {
+
+using simmpi::Comm;
+using simmpi::Phase;
+using simmpi::PhaseScope;
+using simmpi::TrackedBuffer;
+
+namespace {
+
+/// Assembles the post-replication A Cannon block from the c all-gathered
+/// slices. Slice g is (mb x ksub_g) row-major; slices are column ranges of
+/// the full (mb x kb) block, in order, so we interleave them column-wise.
+template <typename T>
+void assemble_a_block(const T* gathered, i64 mb,
+                      const std::vector<i64>& sub_sizes, T* block) {
+  i64 kb = 0;
+  for (i64 sz : sub_sizes) kb += sz;
+  i64 src_off = 0, col_off = 0;
+  for (i64 sz : sub_sizes) {
+    for (i64 r = 0; r < mb; ++r)
+      std::memcpy(block + r * kb + col_off, gathered + src_off + r * sz,
+                  static_cast<size_t>(sz) * sizeof(T));
+    src_off += mb * sz;
+    col_off += sz;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
+                     bool trans_b, const BlockLayout& a_layout,
+                     const T* a_local, const BlockLayout& b_layout,
+                     const T* b_local, const BlockLayout& c_layout, T* c_local,
+                     const Ca3dmmOptions& opt) {
+  CA_REQUIRE(world.size() == plan.nranks(), "plan is for %d ranks, comm has %d",
+             plan.nranks(), world.size());
+  const i64 m = plan.m(), n = plan.n(), k = plan.k();
+  CA_REQUIRE(c_layout.rows() == m && c_layout.cols() == n,
+             "C layout shape mismatch");
+  CA_REQUIRE((trans_a ? a_layout.cols() : a_layout.rows()) == m &&
+                 (trans_a ? a_layout.rows() : a_layout.cols()) == k,
+             "A layout shape mismatch");
+  CA_REQUIRE((trans_b ? b_layout.cols() : b_layout.rows()) == k &&
+                 (trans_b ? b_layout.rows() : b_layout.cols()) == n,
+             "B layout shape mismatch");
+
+  const int me = world.rank();
+  const RankCoord co = plan.coord(me);
+  const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
+
+  const BlockLayout a_native = plan.a_native();
+  const BlockLayout b_native = plan.b_native();
+  const BlockLayout c_native = plan.c_native();
+
+  // ---- step 4 (Alg. 1): redistribute A and B (all ranks participate) ----
+  TrackedBuffer<T> a_init(a_native.local_size(me));
+  TrackedBuffer<T> b_init(b_native.local_size(me));
+  {
+    PhaseScope ps(world, Phase::kRedistribute);
+    redistribute<T>(world, a_layout, a_local, a_native, a_init.data(),
+                    trans_a);
+    redistribute<T>(world, b_layout, b_local, b_native, b_init.data(),
+                    trans_b);
+  }
+
+  // Communicator splits. Colors are disjoint per split call; inactive ranks
+  // pass color -1 (undefined).
+  Comm active = world.split(co.active ? 0 : -1, me);
+
+  TrackedBuffer<T> c_result;  // my final C block (c_native local data)
+
+  if (co.active) {
+    const i64 mb = plan.m_range(co.I).size();
+    const i64 nb = plan.n_range(co.J).size();
+
+    Engine2dShape sh;
+    sh.s = s;
+    sh.i = co.i;
+    sh.j = co.j;
+    sh.mb = mb;
+    sh.nb = nb;
+    for (int t = 0; t < s; ++t)
+      sh.kpart_sizes.push_back(plan.kpart(co.gk, t).size());
+
+    Comm cannon = active.split(co.gk * c + co.gc, co.j * s + co.i);
+    CA_ASSERT(cannon.size() == s * s);
+
+    // ---- step 5: replicate A or B across the c Cannon groups ----
+    TrackedBuffer<T> a_blk, b_blk;
+    const T* a_ptr = a_init.data();
+    const T* b_ptr = b_init.data();
+    if (c > 1) {
+      Comm repl = active.split(co.gk * s * s + co.j * s + co.i, co.gc);
+      CA_ASSERT(repl.size() == c);
+      PhaseScope ps(world, Phase::kReplicate);
+      if (plan.replicates_a()) {
+        std::vector<i64> sub_elems(static_cast<size_t>(c));
+        std::vector<i64> sub_bytes(static_cast<size_t>(c));
+        std::vector<i64> sub_cols(static_cast<size_t>(c));
+        for (int g = 0; g < c; ++g) {
+          const Range r = plan.ksub(co.gk, co.j, g);
+          sub_cols[static_cast<size_t>(g)] = r.size();
+          sub_elems[static_cast<size_t>(g)] = mb * r.size();
+          sub_bytes[static_cast<size_t>(g)] =
+              sub_elems[static_cast<size_t>(g)] * static_cast<i64>(sizeof(T));
+        }
+        TrackedBuffer<T> gathered(mb * plan.kpart(co.gk, co.j).size());
+        repl.allgatherv_bytes(a_init.data(),
+                              sub_bytes[static_cast<size_t>(co.gc)],
+                              gathered.data(), sub_bytes);
+        a_blk.resize(mb * plan.kpart(co.gk, co.j).size());
+        assemble_a_block<T>(gathered.data(), mb, sub_cols, a_blk.data());
+        a_ptr = a_blk.data();
+        a_init.release();
+      } else {
+        // B slices are row ranges: the all-gather output is already the
+        // row-major block.
+        std::vector<i64> sub_bytes(static_cast<size_t>(c));
+        for (int g = 0; g < c; ++g)
+          sub_bytes[static_cast<size_t>(g)] =
+              plan.ksub(co.gk, co.i, g).size() * nb *
+              static_cast<i64>(sizeof(T));
+        b_blk.resize(plan.kpart(co.gk, co.i).size() * nb);
+        repl.allgatherv_bytes(b_init.data(),
+                              sub_bytes[static_cast<size_t>(co.gc)],
+                              b_blk.data(), sub_bytes);
+        b_ptr = b_blk.data();
+        b_init.release();
+      }
+    }
+
+    // ---- step 6: 2-D engine computes the partial C block ----
+    TrackedBuffer<T> c_partial(mb * nb);
+    const auto release_inputs = [&] {
+      a_blk.release();
+      b_blk.release();
+      a_init.release();
+      b_init.release();
+    };
+    if (opt.use_summa)
+      summa_2d<T>(cannon, sh, a_ptr, b_ptr, c_partial.data(), release_inputs);
+    else
+      cannon_2d<T>(cannon, sh, a_ptr, b_ptr, c_partial.data(), opt.min_kblk,
+                   release_inputs);
+
+    // ---- step 7: reduce-scatter partial C across the pk k-task groups ----
+    if (pk > 1) {
+      Comm reduce = active.split((co.gc * s + co.j) * s + co.i, co.gk);
+      CA_ASSERT(reduce.size() == pk);
+      PhaseScope ps(world, Phase::kReduce);
+      // Pack column sub-blocks in destination (gk) order.
+      TrackedBuffer<T> packed(mb * nb);
+      std::vector<i64> counts(static_cast<size_t>(pk));
+      i64 pos = 0;
+      const Range nj = plan.n_range(co.J);
+      for (int g = 0; g < pk; ++g) {
+        const Range sub = plan.c_sub_cols(co.J, g);
+        counts[static_cast<size_t>(g)] = mb * sub.size();
+        for (i64 r = 0; r < mb; ++r) {
+          std::memcpy(packed.data() + pos,
+                      c_partial.data() + r * nb + (sub.lo - nj.lo),
+                      static_cast<size_t>(sub.size()) * sizeof(T));
+          pos += sub.size();
+        }
+      }
+      CA_ASSERT(pos == mb * nb);
+      // The packed buffer holds everything; the partial block is dead.
+      c_partial.release();
+      c_result.resize(counts[static_cast<size_t>(co.gk)]);
+      reduce.reduce_scatter(packed.data(), c_result.data(), counts);
+    } else {
+      c_result = std::move(c_partial);
+    }
+  } else {
+    c_result.resize(0);
+  }
+
+  // ---- step 8: redistribute C to the caller's layout (all ranks) ----
+  {
+    PhaseScope ps(world, Phase::kRedistribute);
+    redistribute<T>(world, c_native, c_result.data(), c_layout, c_local,
+                    false);
+  }
+}
+
+template void ca3dmm_multiply<float>(Comm&, const Ca3dmmPlan&, bool, bool,
+                                     const BlockLayout&, const float*,
+                                     const BlockLayout&, const float*,
+                                     const BlockLayout&, float*,
+                                     const Ca3dmmOptions&);
+template void ca3dmm_multiply<double>(Comm&, const Ca3dmmPlan&, bool, bool,
+                                      const BlockLayout&, const double*,
+                                      const BlockLayout&, const double*,
+                                      const BlockLayout&, double*,
+                                      const Ca3dmmOptions&);
+
+}  // namespace ca3dmm

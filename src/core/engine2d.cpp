@@ -1,0 +1,217 @@
+#include "core/engine2d.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "linalg/gemm.hpp"
+#include "simmpi/cluster.hpp"
+
+namespace ca3dmm {
+
+using simmpi::Comm;
+using simmpi::Phase;
+using simmpi::PhaseScope;
+using simmpi::TrackedBuffer;
+
+namespace {
+
+// Tags spaced far apart; shift steps reuse one tag per direction (the
+// per-channel FIFO keeps successive steps ordered).
+constexpr int kTagShiftA = 101;
+constexpr int kTagShiftB = 201;
+constexpr int kTagSkewA = 301;
+constexpr int kTagSkewB = 401;
+
+inline int grid_rank(int s, int i, int j) { return j * s + i; }
+inline int wrap(int v, int s) { return ((v % s) + s) % s; }
+
+}  // namespace
+
+template <typename T>
+void cannon_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
+               const T* b_block, T* c_partial, i64 min_kblk,
+               const ReleaseInputsFn& release_inputs) {
+  const int s = sh.s, i = sh.i, j = sh.j;
+  CA_ASSERT(grid.size() == s * s);
+  CA_ASSERT(grid.rank() == grid_rank(s, i, j));
+  CA_ASSERT(static_cast<int>(sh.kpart_sizes.size()) == s);
+
+  auto kpart = [&](int t) { return sh.kpart_sizes[static_cast<size_t>(wrap(t, s))]; };
+
+  if (s == 1) {
+    // Degenerate Cannon: one local GEMM, nothing to communicate.
+    const i64 kb = kpart(0);
+    PhaseScope ps(grid, Phase::kCompute);
+    gemm_blocked<T>(false, false, sh.mb, sh.nb, kb, T{1}, a_block, kb, b_block,
+                    sh.nb, c_partial, sh.nb);
+    grid.charge_compute(gemm_flops(sh.mb, sh.nb, kb),
+                        gemm_bytes(sh.mb, sh.nb, kb, sizeof(T)));
+    if (release_inputs) release_inputs();
+    return;
+  }
+
+  const i64 kb_max = sh.kb_max();
+  TrackedBuffer<T> a_cur(sh.mb * kb_max);
+  TrackedBuffer<T> b_cur(kb_max * sh.nb);
+
+  // ---- initial skew (paper §III-B): afterwards this process holds
+  // A k-part (i + j) and B k-part (i + j). ----
+  {
+    PhaseScope ps(grid, Phase::kShift);
+    // A: row i shifts left by i; send to (i, j-i), receive from (i, j+i).
+    grid.sendrecv(a_block, sh.mb * kpart(j), grid_rank(s, i, wrap(j - i, s)),
+                  a_cur.data(), sh.mb * kpart(j + i),
+                  grid_rank(s, i, wrap(j + i, s)), kTagSkewA);
+    // B: column j shifts up by j; send to (i-j, j), receive from (i+j, j).
+    grid.sendrecv(b_block, kpart(i) * sh.nb, grid_rank(s, wrap(i - j, s), j),
+                  b_cur.data(), kpart(i + j) * sh.nb,
+                  grid_rank(s, wrap(i + j, s), j), kTagSkewB);
+  }
+  // The skew moved the inputs into the shift buffers; the source blocks are
+  // dead from here on. The second (dual) buffer pair is only allocated now,
+  // so the peak stays at eq. (11)'s two-buffer footprint.
+  if (release_inputs) release_inputs();
+  TrackedBuffer<T> a_nxt(sh.mb * kb_max);
+  TrackedBuffer<T> b_nxt(kb_max * sh.nb);
+
+  // ---- aggregation buffers (multi-shift optimization, paper §III-F) ----
+  const i64 kb_total = sh.kb_total();
+  const bool aggregate = min_kblk > 0 && kb_max < min_kblk && s > 1;
+  const i64 agg_cap =
+      aggregate ? std::min(kb_total, min_kblk + kb_max) : 0;
+  TrackedBuffer<T> agg_a(aggregate ? sh.mb * agg_cap : 0);
+  TrackedBuffer<T> agg_b(aggregate ? agg_cap * sh.nb : 0);
+  i64 agg_k = 0;
+
+  bool c_staged = false;  // the GPU device keeps C resident across steps
+  auto step_bytes = [&](i64 kw) {
+    const double b = gemm_operand_bytes(sh.mb, sh.nb, kw, sizeof(T)) +
+                     (c_staged ? 0.0 : gemm_result_bytes(sh.mb, sh.nb, sizeof(T)));
+    c_staged = true;
+    return b;
+  };
+  const int left = grid_rank(s, i, wrap(j - 1, s));
+  const int right = grid_rank(s, i, wrap(j + 1, s));
+  const int up = grid_rank(s, wrap(i - 1, s), j);
+  const int down = grid_rank(s, wrap(i + 1, s), j);
+
+  // Overlap budget accumulates across shifts until the next GEMM flush:
+  // with aggregation, the appended panels free the shift buffers
+  // immediately, so several steps' transfers pipeline into one aggregated
+  // GEMM. The final step has nothing in flight.
+  double overlap_budget = 0;
+  for (int t = 0; t < s; ++t) {
+    const i64 kb = kpart(i + j + t);     // current k-part extent
+    const i64 kb_next = kpart(i + j + t + 1);
+    if (t < s - 1) {
+      PhaseScope ps(grid, Phase::kShift);
+      grid.sendrecv(a_cur.data(), sh.mb * kb, left, a_nxt.data(),
+                    sh.mb * kb_next, right, kTagShiftA);
+      overlap_budget += grid.last_op_cost();
+      grid.sendrecv(b_cur.data(), kb * sh.nb, up, b_nxt.data(),
+                    kb_next * sh.nb, down, kTagShiftB);
+      overlap_budget += grid.last_op_cost();
+    }
+    if (aggregate) {
+      // Append the current panels; run one GEMM once enough k accumulated.
+      for (i64 r = 0; r < sh.mb; ++r)
+        std::memcpy(agg_a.data() + r * agg_cap + agg_k, a_cur.data() + r * kb,
+                    static_cast<size_t>(kb) * sizeof(T));
+      std::memcpy(agg_b.data() + agg_k * sh.nb, b_cur.data(),
+                  static_cast<size_t>(kb * sh.nb) * sizeof(T));
+      agg_k += kb;
+      if (agg_k >= min_kblk || t == s - 1) {
+        PhaseScope ps(grid, Phase::kCompute);
+        gemm_blocked<T>(false, false, sh.mb, sh.nb, agg_k, T{1}, agg_a.data(),
+                        agg_cap, agg_b.data(), sh.nb, c_partial, sh.nb);
+        grid.charge_compute_overlap_budget(gemm_flops(sh.mb, sh.nb, agg_k),
+                                           step_bytes(agg_k), overlap_budget);
+        overlap_budget = 0;
+        agg_k = 0;
+      }
+    } else {
+      PhaseScope ps(grid, Phase::kCompute);
+      gemm_blocked<T>(false, false, sh.mb, sh.nb, kb, T{1}, a_cur.data(), kb,
+                      b_cur.data(), sh.nb, c_partial, sh.nb);
+      grid.charge_compute_overlap_budget(gemm_flops(sh.mb, sh.nb, kb),
+                                         step_bytes(kb), overlap_budget);
+      overlap_budget = 0;
+    }
+    a_cur.swap(a_nxt);
+    b_cur.swap(b_nxt);
+  }
+}
+
+template <typename T>
+void summa_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
+              const T* b_block, T* c_partial,
+              const ReleaseInputsFn& release_inputs) {
+  const int s = sh.s, i = sh.i, j = sh.j;
+  CA_ASSERT(grid.size() == s * s);
+  CA_ASSERT(grid.rank() == grid_rank(s, i, j));
+
+  if (s == 1) {
+    const i64 kb = sh.kpart_sizes[0];
+    PhaseScope ps(grid, Phase::kCompute);
+    gemm_blocked<T>(false, false, sh.mb, sh.nb, kb, T{1}, a_block, kb, b_block,
+                    sh.nb, c_partial, sh.nb);
+    grid.charge_compute(gemm_flops(sh.mb, sh.nb, kb),
+                        gemm_bytes(sh.mb, sh.nb, kb, sizeof(T)));
+    if (release_inputs) release_inputs();
+    return;
+  }
+
+  // Row communicator (fixed i, varying j) and column communicator.
+  Comm row = grid.split(i, j);
+  Comm col = grid.split(s + j, i);  // color offset keeps the call symmetric
+
+  const i64 kb_max = sh.kb_max();
+  TrackedBuffer<T> a_panel(sh.mb * kb_max);
+  TrackedBuffer<T> b_panel(kb_max * sh.nb);
+
+  bool c_staged = false;  // the GPU device keeps C resident across steps
+  auto step_bytes = [&](i64 kw) {
+    const double b = gemm_operand_bytes(sh.mb, sh.nb, kw, sizeof(T)) +
+                     (c_staged ? 0.0 : gemm_result_bytes(sh.mb, sh.nb, sizeof(T)));
+    c_staged = true;
+    return b;
+  };
+  for (int t = 0; t < s; ++t) {
+    const i64 kb = sh.kpart_sizes[static_cast<size_t>(t)];
+    double overlap_budget = 0;
+    {
+      PhaseScope ps(grid, Phase::kShift);
+      // Owner of A(i, k-part t) is (i, t); of B(k-part t, j) is (t, j).
+      if (j == t && kb > 0)
+        std::memcpy(a_panel.data(), a_block,
+                    static_cast<size_t>(sh.mb * kb) * sizeof(T));
+      row.bcast(a_panel.data(), sh.mb * kb, t);
+      overlap_budget = grid.last_op_cost();
+      if (i == t && kb > 0)
+        std::memcpy(b_panel.data(), b_block,
+                    static_cast<size_t>(kb * sh.nb) * sizeof(T));
+      col.bcast(b_panel.data(), kb * sh.nb, t);
+      overlap_budget += grid.last_op_cost();
+    }
+    PhaseScope ps(grid, Phase::kCompute);
+    gemm_blocked<T>(false, false, sh.mb, sh.nb, kb, T{1}, a_panel.data(), kb,
+                    b_panel.data(), sh.nb, c_partial, sh.nb);
+    // SUMMA pipelines the next panel broadcast with the current update.
+    grid.charge_compute_overlap_budget(gemm_flops(sh.mb, sh.nb, kb),
+                                       step_bytes(kb), overlap_budget);
+  }
+  if (release_inputs) release_inputs();
+}
+
+template void cannon_2d<float>(Comm&, const Engine2dShape&, const float*,
+                               const float*, float*, i64,
+                               const ReleaseInputsFn&);
+template void cannon_2d<double>(Comm&, const Engine2dShape&, const double*,
+                                const double*, double*, i64,
+                                const ReleaseInputsFn&);
+template void summa_2d<float>(Comm&, const Engine2dShape&, const float*,
+                              const float*, float*, const ReleaseInputsFn&);
+template void summa_2d<double>(Comm&, const Engine2dShape&, const double*,
+                               const double*, double*, const ReleaseInputsFn&);
+
+}  // namespace ca3dmm

@@ -1,0 +1,74 @@
+// Inner 2-D engines of CA3DMM: Cannon's algorithm (default) and SUMMA
+// (the §III-E alternative).
+//
+// Both compute a partial C block for one Cannon group: a rank-|K_g| update
+// C_partial(M_I, N_J) = A(M_I, K_g) * B(K_g, N_J) distributed over an s x s
+// process grid. Rank order inside the group communicator is q = j*s + i
+// (i fastest), matching the plan's column-major organization.
+//
+// Initial distribution (both engines): process (i, j) holds the pre-skew
+// Cannon blocks A(row block i, k-part j) and B(k-part i, column block j).
+//
+// Cannon performs the initial skew, then s-1 circular shifts with
+// dual-buffering (communication of step t+1 overlaps the GEMM of step t) and
+// multi-shift aggregation (several panels accumulated before one local GEMM
+// when k-parts are thin). SUMMA broadcasts the k-part panels along process
+// rows/columns instead; its latency is provably no better (paper §III-E).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/partition.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm {
+
+/// Shared description of one 2-D engine invocation.
+struct Engine2dShape {
+  int s = 1;   ///< grid size
+  int i = 0;   ///< my Cannon row
+  int j = 0;   ///< my Cannon column
+  i64 mb = 0;  ///< rows of my C block (|M_I|)
+  i64 nb = 0;  ///< cols of my C block (|N_J|)
+  /// Sizes of the s k-parts of this k-task group's k range (canonical
+  /// partition of |K_g| into s parts).
+  std::vector<i64> kpart_sizes;
+
+  i64 kb_total() const {
+    i64 t = 0;
+    for (i64 v : kpart_sizes) t += v;
+    return t;
+  }
+  i64 kb_max() const {
+    i64 t = 0;
+    for (i64 v : kpart_sizes) t = t > v ? t : v;
+    return t;
+  }
+};
+
+/// Callback the engines invoke as soon as the input blocks (a_block,
+/// b_block) are dead — for Cannon that is right after the initial skew moves
+/// them into the engine's shift buffers. The driver releases the source
+/// buffers there, which is what keeps CA3DMM at the paper's eq.-(11) memory
+/// footprint (two shift buffers, not three copies).
+using ReleaseInputsFn = std::function<void()>;
+
+/// Cannon's algorithm. `a_block` is (mb x kpart_sizes[j]) row-major,
+/// `b_block` is (kpart_sizes[i] x nb) row-major, `c_partial` is (mb x nb)
+/// and is accumulated into (callers pass it zeroed).
+/// `min_kblk` enables multi-shift aggregation (0 = one GEMM per shift).
+template <typename T>
+void cannon_2d(simmpi::Comm& grid, const Engine2dShape& sh, const T* a_block,
+               const T* b_block, T* c_partial, i64 min_kblk,
+               const ReleaseInputsFn& release_inputs = {});
+
+/// SUMMA on the same grid, distribution, and result contract as cannon_2d.
+/// SUMMA broadcasts panels straight out of the input blocks, so
+/// release_inputs only fires after the last panel.
+template <typename T>
+void summa_2d(simmpi::Comm& grid, const Engine2dShape& sh, const T* a_block,
+              const T* b_block, T* c_partial,
+              const ReleaseInputsFn& release_inputs = {});
+
+}  // namespace ca3dmm

@@ -1,0 +1,182 @@
+#include "core/grid_solver.hpp"
+
+#include <cmath>
+#include <tuple>
+
+namespace ca3dmm {
+
+double grid_surface(i64 m, i64 n, i64 k, const ProcGrid& g) {
+  // Exact per-block extents: the largest block is ceil(dim/p); total surface
+  // uses the nominal eq. (4) form but with ceil extents so degenerate grids
+  // (p > dim) do not look artificially cheap.
+  const double dm = static_cast<double>(ceil_div(m, g.pm));
+  const double dn = static_cast<double>(ceil_div(n, g.pn));
+  const double dk = static_cast<double>(ceil_div(k, g.pk));
+  // 2 * (pm*kn + pn*mk + pk*mn) evaluated as per-process block surfaces
+  // summed over the grid.
+  const double procs = static_cast<double>(g.active());
+  return 2.0 * procs * (dm * dk + dk * dn + dm * dn);
+}
+
+double grid_objective(i64 m, i64 n, i64 k, const ProcGrid& g,
+                      double flop_word_ratio) {
+  const double dm = static_cast<double>(ceil_div(m, g.pm));
+  const double dn = static_cast<double>(ceil_div(n, g.pn));
+  const double dk = static_cast<double>(ceil_div(k, g.pk));
+  const double work =
+      static_cast<double>(m) * n * k / static_cast<double>(g.active());
+  return work + flop_word_ratio * (dm * dk + dk * dn + dm * dn);
+}
+
+double grid_memory_elems(i64 m, i64 n, i64 k, const ProcGrid& g) {
+  const double P = g.active();
+  const double c = g.c();
+  const double md = static_cast<double>(m), nd = static_cast<double>(n),
+               kd = static_cast<double>(k);
+  const double repl = g.replicates_a() ? (c * md * kd + kd * nd)
+                                       : (md * kd + c * kd * nd);
+  return 2.0 * repl / P + static_cast<double>(g.pk) * md * nd / P;
+}
+
+namespace {
+
+/// Lexicographic fitness: smaller is better — the composite objective,
+/// then utilization (sub-target (6)), then deterministic tie-breaks that
+/// favour cheap collectives (small pk) and low replication.
+struct Fitness {
+  double cost;
+  int neg_active;
+  int pk;
+  int c;
+  int pm;
+
+  auto tie() const { return std::make_tuple(cost, neg_active, pk, c, pm); }
+  bool operator<(const Fitness& o) const { return tie() < o.tie(); }
+};
+
+Fitness fitness(i64 m, i64 n, i64 k, const ProcGrid& g, double ratio) {
+  return Fitness{grid_objective(m, n, k, g, ratio), -g.active(), g.pk, g.c(),
+                 g.pm};
+}
+
+template <typename Accept>
+ProcGrid enumerate_grids(i64 m, i64 n, i64 k, int P, double l, double ratio,
+                         Accept&& accept) {
+  // Never split a dimension more ways than its extent: a grid factor beyond
+  // the dimension only idles processes inside the grid.
+  const auto clamp = [](i64 dim, int P_) {
+    return static_cast<int>(std::min<i64>(dim, P_));
+  };
+  const int pm_max = clamp(m, P), pn_max0 = clamp(n, P), pk_max0 = clamp(k, P);
+
+  // Constraint (5) with floor(l P); if the clamps make that unreachable
+  // (tiny problems), fall back to the best reachable utilization.
+  int max_active = 1;
+  for (int pm = 1; pm <= pm_max; ++pm)
+    for (int pk = 1; pk <= pk_max0 && pk * pm <= P; ++pk) {
+      const int pn_lim = std::min(pn_max0, P / (pm * pk));
+      for (int pn = pn_lim; pn >= 1; --pn) {
+        ProcGrid g{pm, pn, pk};
+        if (g.active() <= max_active) break;  // pn descending: no improvement
+        if (accept(g)) {
+          max_active = g.active();
+          break;
+        }
+      }
+    }
+  const int min_active =
+      std::min(static_cast<int>(std::floor(l * P)), max_active);
+
+  ProcGrid best;
+  bool have = false;
+  Fitness best_fit{};
+  for (int pm = 1; pm <= pm_max; ++pm)
+    for (int pk = 1; pk <= pk_max0 && pk * pm <= P; ++pk) {
+      const int pn_lim = std::min(pn_max0, P / (pm * pk));
+      for (int pn = 1; pn <= pn_lim; ++pn) {
+        ProcGrid g{pm, pn, pk};
+        if (g.active() < min_active) continue;
+        if (!accept(g)) continue;
+        const Fitness f = fitness(m, n, k, g, ratio);
+        if (!have || f < best_fit) {
+          best = g;
+          best_fit = f;
+          have = true;
+        }
+      }
+    }
+  CA_REQUIRE(have,
+             "no feasible process grid for P=%d under the given constraints "
+             "(memory budget too tight?)",
+             P);
+  return best;
+}
+
+bool cannon_ok(const ProcGrid& g) {
+  const int lo = g.s(), hi = g.pm > g.pn ? g.pm : g.pn;
+  return hi % lo == 0;
+}
+
+}  // namespace
+
+ProcGrid find_grid(i64 m, i64 n, i64 k, int P, const GridOptions& opt) {
+  CA_REQUIRE(m > 0 && n > 0 && k > 0 && P > 0,
+             "find_grid needs positive dimensions, got m=%lld n=%lld k=%lld P=%d",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k), P);
+  const i64 budget = opt.max_memory_elems;
+  const auto fits = [&](const ProcGrid& g) {
+    return budget <= 0 || grid_memory_elems(m, n, k, g) <=
+                              static_cast<double>(budget);
+  };
+  if (!opt.cannon_compatible)
+    return enumerate_grids(m, n, k, P, opt.l, opt.flop_word_ratio, fits);
+  return enumerate_grids(m, n, k, P, opt.l, opt.flop_word_ratio,
+                         [&](const ProcGrid& g) {
+                           return cannon_ok(g) && fits(g);
+                         });
+}
+
+ProcGrid find_grid_cosma(i64 m, i64 n, i64 k, int P, double l) {
+  // COSMA's source enumerates all grids and picks the one with
+  // m/pm ~ k/pk ~ n/pn, i.e. the surface-minimizing grid, with no Cannon
+  // constraint (paper §III-C).
+  return enumerate_grids(m, n, k, P, l, 100.0,
+                         [](const ProcGrid&) { return true; });
+}
+
+ProcGrid find_grid_ctf(i64 m, i64 n, i64 k, int P) {
+  (void)m;
+  (void)n;
+  (void)k;
+  // CTF folds its cyclic processor grid: choose replication depth c and a
+  // near-square 2-D grid of the remaining P/c processes, ignoring the matrix
+  // shape — which is why CTF's grids are often far from GEMM-optimal.
+  ProcGrid best{1, 1, 1};
+  i64 best_active = 0;
+  for (int c = 1; c <= P; ++c) {
+    if (P / c < 1) break;
+    const int q = P / c;
+    const int r = static_cast<int>(std::sqrt(static_cast<double>(q)));
+    for (int pr = std::max(1, r - 1); pr <= r + 1; ++pr) {
+      if (pr > q) continue;
+      const int pc = q / pr;
+      const i64 active = static_cast<i64>(pr) * pc * c;
+      // Prefer utilization; among equal utilization prefer square 2-D grids
+      // and shallow replication (CTF defaults to c that divides evenly).
+      const bool better =
+          active > best_active ||
+          (active == best_active &&
+           std::abs(pr - pc) < std::abs(best.pm - best.pn)) ||
+          (active == best_active && std::abs(pr - pc) == std::abs(best.pm - best.pn) &&
+           c < best.pk);
+      if (better) {
+        best = ProcGrid{pr, pc, c};
+        best_active = active;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ca3dmm

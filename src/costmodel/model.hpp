@@ -1,0 +1,73 @@
+// Analytic cost and memory model.
+//
+// Mirrors the executable algorithms operation by operation: the same grid
+// solvers, the same message sizes, the same §III-D collective cost formulas,
+// and the same TrackedBuffer lifetimes — but without threads or data, so it
+// evaluates in microseconds for configurations of any scale (the paper's
+// 192..3072-process runs with matrices up to 1.2M on a side).
+//
+// Validation: tests/test_costmodel.cpp asserts that, for small
+// configurations where the threaded engine actually runs, the model's time
+// per phase and peak memory match the engine's measured virtual values
+// (exactly for evenly divisible configurations — every rank is then
+// symmetric — and within a small tolerance otherwise, because the model
+// accumulates each rank independently while the engine synchronizes
+// collectives at max entry time).
+#pragma once
+
+#include <optional>
+
+#include "baselines/cosma_like.hpp"
+#include "baselines/summa.hpp"
+#include "core/plan.hpp"
+#include "simmpi/cluster.hpp"
+
+namespace ca3dmm::costmodel {
+
+enum class Algo {
+  kCa3dmm,       ///< this paper's algorithm, Cannon inner engine
+  kCa3dmmSumma,  ///< CA3DMM-S ablation (§III-E)
+  kCosma,        ///< COSMA-like baseline
+  kCarma,        ///< CARMA (power-of-two bisection)
+  kCtf,          ///< CTF-like wrapper (shape-oblivious grid + remap)
+  kSumma,        ///< plain 2-D SUMMA
+  kP25d,         ///< the true 2.5D algorithm (layered Cannon)
+};
+
+const char* algo_name(Algo a);
+
+struct Workload {
+  i64 m = 0, n = 0, k = 0;
+  /// false = library-native input/output layouts (Fig. 3 "native layout");
+  /// true = 1-D column layouts for A, B, C (Fig. 3 "custom layout").
+  bool custom_layout = false;
+  i64 esize = 8;  ///< element size (double)
+  std::optional<ProcGrid> force_grid{};  ///< Table II grid overrides
+  i64 min_kblk = 192;  ///< CA3DMM multi-shift aggregation threshold
+};
+
+struct Prediction {
+  ProcGrid grid{};
+  int active = 0;
+  double t_total = 0;  ///< max over ranks, seconds
+  double phase_s[static_cast<int>(simmpi::Phase::kCount)] = {};
+  i64 peak_bytes = 0;  ///< max over ranks
+  double flops_per_rank = 0;
+
+  double phase(simmpi::Phase p) const {
+    return phase_s[static_cast<int>(p)];
+  }
+  /// Percentage of machine peak (Fig. 3/4 y-axis): useful flops over
+  /// aggregate nominal peak of all P ranks.
+  double pct_peak(i64 m, i64 n, i64 k, int P,
+                  const simmpi::Machine& mach) const {
+    const double flops = 2.0 * static_cast<double>(m) * n * k;
+    return 100.0 * flops / (t_total * P * mach.rank_peak_flops());
+  }
+};
+
+/// Predicts one multiply of `w` by `algo` on P ranks of `mach`.
+Prediction predict(Algo algo, const Workload& w, int P,
+                   const simmpi::Machine& mach);
+
+}  // namespace ca3dmm::costmodel

@@ -1,0 +1,98 @@
+#include "layout/block_layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ca3dmm {
+
+BlockLayout BlockLayout::row_1d(i64 rows, i64 cols, int p) {
+  BlockLayout l(rows, cols, p);
+  for (int r = 0; r < p; ++r) {
+    Rect rect{block_range(rows, p, r), Range{0, cols}};
+    if (!rect.empty()) l.add_rect(r, rect);
+  }
+  return l;
+}
+
+BlockLayout BlockLayout::col_1d(i64 rows, i64 cols, int p) {
+  BlockLayout l(rows, cols, p);
+  for (int r = 0; r < p; ++r) {
+    Rect rect{Range{0, rows}, block_range(cols, p, r)};
+    if (!rect.empty()) l.add_rect(r, rect);
+  }
+  return l;
+}
+
+BlockLayout BlockLayout::grid_2d(i64 rows, i64 cols, int pr, int pc,
+                                 bool col_major_ranks) {
+  BlockLayout l(rows, cols, pr * pc);
+  for (int i = 0; i < pr; ++i)
+    for (int j = 0; j < pc; ++j) {
+      const int rank = col_major_ranks ? j * pr + i : i * pc + j;
+      Rect rect{block_range(rows, pr, i), block_range(cols, pc, j)};
+      if (!rect.empty()) l.add_rect(rank, rect);
+    }
+  return l;
+}
+
+BlockLayout BlockLayout::single(i64 rows, i64 cols, int owner, int nranks) {
+  BlockLayout l(rows, cols, nranks);
+  l.add_rect(owner, Rect{Range{0, rows}, Range{0, cols}});
+  return l;
+}
+
+BlockLayout BlockLayout::block_cyclic(i64 rows, i64 cols, int pr, int pc,
+                                      i64 rb, i64 cb) {
+  CA_REQUIRE(pr >= 1 && pc >= 1 && rb >= 1 && cb >= 1,
+             "bad block-cyclic parameters");
+  BlockLayout l(rows, cols, pr * pc);
+  for (i64 r0 = 0; r0 < rows; r0 += rb) {
+    const i64 tile_i = r0 / rb;
+    const Range rr{r0, std::min(rows, r0 + rb)};
+    for (i64 c0 = 0; c0 < cols; c0 += cb) {
+      const i64 tile_j = c0 / cb;
+      const Range cc{c0, std::min(cols, c0 + cb)};
+      const int rank = static_cast<int>(tile_i % pr) * pc +
+                       static_cast<int>(tile_j % pc);
+      l.add_rect(rank, Rect{rr, cc});
+    }
+  }
+  return l;
+}
+
+void BlockLayout::add_rect(int rank, const Rect& rect) {
+  CA_ASSERT(rank >= 0 && rank < nranks());
+  CA_ASSERT(rect.r.lo >= 0 && rect.r.hi <= rows_ && rect.c.lo >= 0 &&
+            rect.c.hi <= cols_);
+  rects_[static_cast<size_t>(rank)].push_back(rect);
+}
+
+i64 BlockLayout::local_size(int rank) const {
+  i64 s = 0;
+  for (const Rect& r : rects_of(rank)) s += r.size();
+  return s;
+}
+
+i64 BlockLayout::local_offset(int rank, size_t rect_idx, i64 i, i64 j) const {
+  const auto& rs = rects_of(rank);
+  CA_ASSERT(rect_idx < rs.size());
+  i64 off = 0;
+  for (size_t t = 0; t < rect_idx; ++t) off += rs[t].size();
+  const Rect& r = rs[rect_idx];
+  CA_ASSERT(r.r.contains(i) && r.c.contains(j));
+  return off + (i - r.r.lo) * r.c.size() + (j - r.c.lo);
+}
+
+bool BlockLayout::covers_exactly() const {
+  std::vector<int> cnt(static_cast<size_t>(rows_ * cols_), 0);
+  for (int rank = 0; rank < nranks(); ++rank)
+    for (const Rect& r : rects_of(rank))
+      for (i64 i = r.r.lo; i < r.r.hi; ++i)
+        for (i64 j = r.c.lo; j < r.c.hi; ++j)
+          cnt[static_cast<size_t>(i * cols_ + j)]++;
+  for (int v : cnt)
+    if (v != 1) return false;
+  return true;
+}
+
+}  // namespace ca3dmm

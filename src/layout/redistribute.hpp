@@ -1,0 +1,50 @@
+// Generic distributed-matrix redistribution (paper Algorithm 1, steps 4/8).
+//
+// Converts a matrix from one BlockLayout to another over the same
+// communicator with a single personalized all-to-all, optionally applying a
+// transpose on the fly. CA3DMM uses this to convert user distributions to
+// its library-native initial A/B distributions and to return C in the user's
+// distribution; the transpose path is how `op(A) x op(B)` is supported "for
+// free" during redistribution (paper §III-B).
+//
+// Both sides of every message derive the segment order from the same global
+// layout information, so no plan metadata is exchanged: for source rank s and
+// destination rank d, segments are ordered by (source rect index, destination
+// rect index) and elements row-major in *source* coordinates.
+#pragma once
+
+#include <vector>
+
+#include "layout/block_layout.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm {
+
+/// Redistributes `src_local` (this rank's data under `src`) into `dst_local`
+/// (sized dst.local_size(rank)) under `dst`.
+///
+/// If `transpose`, the destination layout describes the transposed index
+/// space: dst.rows() == src.cols() and dst.cols() == src.rows(), and global
+/// source element (i, j) lands at destination element (j, i).
+///
+/// Collective over `comm`; src and dst must both span comm.size() ranks.
+template <typename T>
+void redistribute(simmpi::Comm& comm, const BlockLayout& src,
+                  const T* src_local, const BlockLayout& dst, T* dst_local,
+                  bool transpose = false);
+
+/// Byte volumes a redistribution would move. `max_*` exclude data that stays
+/// on its rank (no network traffic — matches the engine's all-to-all time
+/// charge); the per-rank staging sizes include it (the engine packs self
+/// segments through the same buffers — matters for memory accounting).
+struct RedistVolume {
+  i64 max_send_bytes = 0;  ///< max over ranks, self excluded
+  i64 max_recv_bytes = 0;  ///< max over ranks, self excluded
+  std::vector<i64> send_staging_bytes;  ///< per rank, self included
+  std::vector<i64> recv_staging_bytes;  ///< per rank, self included
+};
+RedistVolume redistribution_volume(const BlockLayout& src,
+                                   const BlockLayout& dst, bool transpose,
+                                   i64 esize);
+
+}  // namespace ca3dmm

@@ -1,0 +1,131 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ca3dmm {
+
+namespace {
+
+// Cache blocking parameters (elements). MC x KC panel of A and KC x NC panel
+// of B stay resident while the micro-kernel streams C.
+constexpr i64 kMC = 128;
+constexpr i64 kKC = 256;
+constexpr i64 kNC = 512;
+constexpr i64 kMR = 4;  // micro-tile rows
+constexpr i64 kNR = 8;  // micro-tile cols
+
+/// Reads op(A)(i, p): A stored row-major with row stride lda.
+template <typename T>
+inline T at_a(const T* a, i64 lda, bool ta, i64 i, i64 p) {
+  return ta ? a[p * lda + i] : a[i * lda + p];
+}
+
+template <typename T>
+inline T at_b(const T* b, i64 ldb, bool tb, i64 p, i64 j) {
+  return tb ? b[j * ldb + p] : b[p * ldb + j];
+}
+
+/// Packs op(A)(i0:i0+mc, p0:p0+kc) into column-of-row-tiles order: tile rows
+/// of kMR, contiguous in p.
+template <typename T>
+void pack_a(const T* a, i64 lda, bool ta, i64 i0, i64 mc, i64 p0, i64 kc,
+            T* pa) {
+  for (i64 it = 0; it < mc; it += kMR) {
+    const i64 mr = std::min(kMR, mc - it);
+    for (i64 p = 0; p < kc; ++p) {
+      for (i64 r = 0; r < mr; ++r)
+        *pa++ = at_a(a, lda, ta, i0 + it + r, p0 + p);
+      for (i64 r = mr; r < kMR; ++r) *pa++ = T{};
+    }
+  }
+}
+
+template <typename T>
+void pack_b(const T* b, i64 ldb, bool tb, i64 p0, i64 kc, i64 j0, i64 nc,
+            T* pb) {
+  for (i64 jt = 0; jt < nc; jt += kNR) {
+    const i64 nr = std::min(kNR, nc - jt);
+    for (i64 p = 0; p < kc; ++p) {
+      for (i64 r = 0; r < nr; ++r)
+        *pb++ = at_b(b, ldb, tb, p0 + p, j0 + jt + r);
+      for (i64 r = nr; r < kNR; ++r) *pb++ = T{};
+    }
+  }
+}
+
+/// kMR x kNR micro-kernel on packed panels; accumulates into a local tile
+/// and adds the valid part into C.
+template <typename T>
+void micro_kernel(i64 kc, T alpha, const T* pa, const T* pb, T* c, i64 ldc,
+                  i64 mr, i64 nr) {
+  T acc[kMR][kNR] = {};
+  for (i64 p = 0; p < kc; ++p) {
+    const T* a = pa + p * kMR;
+    const T* b = pb + p * kNR;
+    for (i64 i = 0; i < kMR; ++i) {
+      const T ai = a[i];
+      for (i64 j = 0; j < kNR; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (i64 i = 0; i < mr; ++i)
+    for (i64 j = 0; j < nr; ++j) c[i * ldc + j] += alpha * acc[i][j];
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_ref(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, T alpha,
+              const T* a, i64 lda, const T* b, i64 ldb, T* c, i64 ldc) {
+  for (i64 i = 0; i < m; ++i)
+    for (i64 p = 0; p < k; ++p) {
+      const T ai = at_a(a, lda, trans_a, i, p);
+      if (ai == T{}) continue;
+      for (i64 j = 0; j < n; ++j)
+        c[i * ldc + j] += alpha * ai * at_b(b, ldb, trans_b, p, j);
+    }
+}
+
+template <typename T>
+void gemm_blocked(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, T alpha,
+                  const T* a, i64 lda, const T* b, i64 ldb, T* c, i64 ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  // Packing buffers sized for one panel each.
+  std::vector<T> pa(static_cast<size_t>(((kMC + kMR - 1) / kMR) * kMR * kKC));
+  std::vector<T> pb(static_cast<size_t>(((kNC + kNR - 1) / kNR) * kNR * kKC));
+
+  for (i64 j0 = 0; j0 < n; j0 += kNC) {
+    const i64 nc = std::min(kNC, n - j0);
+    for (i64 p0 = 0; p0 < k; p0 += kKC) {
+      const i64 kc = std::min(kKC, k - p0);
+      pack_b(b, ldb, trans_b, p0, kc, j0, nc, pb.data());
+      for (i64 i0 = 0; i0 < m; i0 += kMC) {
+        const i64 mc = std::min(kMC, m - i0);
+        pack_a(a, lda, trans_a, i0, mc, p0, kc, pa.data());
+        for (i64 jt = 0; jt < nc; jt += kNR) {
+          const i64 nr = std::min(kNR, nc - jt);
+          const T* pbt = pb.data() + (jt / kNR) * kNR * kc;
+          for (i64 it = 0; it < mc; it += kMR) {
+            const i64 mr = std::min(kMR, mc - it);
+            const T* pat = pa.data() + (it / kMR) * kMR * kc;
+            micro_kernel(kc, alpha, pat, pbt,
+                         c + (i0 + it) * ldc + (j0 + jt), ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+template void gemm_ref<float>(bool, bool, i64, i64, i64, float, const float*,
+                              i64, const float*, i64, float*, i64);
+template void gemm_ref<double>(bool, bool, i64, i64, i64, double, const double*,
+                               i64, const double*, i64, double*, i64);
+template void gemm_blocked<float>(bool, bool, i64, i64, i64, float,
+                                  const float*, i64, const float*, i64, float*,
+                                  i64);
+template void gemm_blocked<double>(bool, bool, i64, i64, i64, double,
+                                   const double*, i64, const double*, i64,
+                                   double*, i64);
+
+}  // namespace ca3dmm

@@ -1,0 +1,134 @@
+#include "simmpi/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "simmpi/detail_state.hpp"
+
+namespace ca3dmm::simmpi {
+
+namespace {
+thread_local RankCtx* g_ctx = nullptr;
+}
+
+RankCtx* current_ctx() { return g_ctx; }
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kRedistribute: return "redistribute";
+    case Phase::kReplicate: return "replicate A/B";
+    case Phase::kShift: return "2D engine comm";
+    case Phase::kCompute: return "local compute";
+    case Phase::kReduce: return "reduce C";
+    case Phase::kMisc: return "misc";
+    default: return "?";
+  }
+}
+
+Cluster::Cluster(int nranks, Machine machine)
+    : nranks_(nranks), machine_(machine), ctx_(static_cast<size_t>(nranks)) {
+  CA_REQUIRE(nranks >= 1, "Cluster needs at least one rank, got %d", nranks);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const std::function<void(Comm&)>& rank_main) {
+  // Fresh per-rank state for every run.
+  for (int r = 0; r < nranks_; ++r) {
+    ctx_[r] = RankCtx{};
+    ctx_[r].world_rank = r;
+    ctx_[r].machine = &machine_;
+    ctx_[r].trace_enabled = trace_enabled_;
+  }
+  channels_.clear();
+
+  std::vector<int> members(static_cast<size_t>(nranks_));
+  std::iota(members.begin(), members.end(), 0);
+  auto world = detail::CommState::create(this, std::move(members));
+
+  std::vector<std::string> errors(static_cast<size_t>(nranks_));
+  std::vector<bool> failed(static_cast<size_t>(nranks_), false);
+
+  auto thread_main = [&](int r) {
+    g_ctx = &ctx_[r];
+    try {
+      Comm c(world, r);
+      rank_main(c);
+    } catch (const std::exception& e) {
+      failed[static_cast<size_t>(r)] = true;
+      errors[static_cast<size_t>(r)] = e.what();
+    }
+    g_ctx = nullptr;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) threads.emplace_back(thread_main, r);
+  for (auto& t : threads) t.join();
+
+  for (int r = 0; r < nranks_; ++r) {
+    ctx_[r].stats.vtime = ctx_[r].clock;
+    if (failed[static_cast<size_t>(r)])
+      throw Error(strprintf("rank %d failed: %s", r,
+                            errors[static_cast<size_t>(r)].c_str()));
+  }
+}
+
+const RankStats& Cluster::stats(int rank) const {
+  CA_ASSERT(rank >= 0 && rank < nranks_);
+  return ctx_[static_cast<size_t>(rank)].stats;
+}
+
+void Cluster::write_chrome_trace(const std::string& path) const {
+  CA_REQUIRE(trace_enabled_,
+             "write_chrome_trace needs set_trace(true) before run()");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CA_REQUIRE(f != nullptr, "cannot open trace file %s", path.c_str());
+  std::fputs("[\n", f);
+  bool first = true;
+  for (int r = 0; r < nranks_; ++r) {
+    for (const TraceEvent& e : ctx_[static_cast<size_t>(r)].trace) {
+      if (!first) std::fputs(",\n", f);
+      first = false;
+      // 1 trace microsecond = 1 simulated microsecond.
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                   "\"pid\":0,\"tid\":%d}",
+                   phase_name(e.phase), e.t0 * 1e6, (e.t1 - e.t0) * 1e6, r);
+    }
+  }
+  std::fputs("\n]\n", f);
+  std::fclose(f);
+}
+
+RankStats Cluster::aggregate_stats() const {
+  RankStats agg;
+  for (int r = 0; r < nranks_; ++r) {
+    const RankStats& s = ctx_[static_cast<size_t>(r)].stats;
+    agg.vtime = std::max(agg.vtime, s.vtime);
+    for (int p = 0; p < static_cast<int>(Phase::kCount); ++p)
+      agg.phase_s[p] = std::max(agg.phase_s[p], s.phase_s[p]);
+    agg.flops += s.flops;
+    agg.peak_bytes = std::max(agg.peak_bytes, s.peak_bytes);
+  }
+  return agg;
+}
+
+namespace detail {
+
+std::shared_ptr<CommState> CommState::create(Cluster* cl,
+                                             std::vector<int> members) {
+  auto st = std::make_shared<CommState>();
+  st->cluster = cl;
+  st->members = std::move(members);
+  st->id = cl->next_comm_id_++;
+  st->prof = GroupProfile::from_world_ranks(cl->machine_, st->members);
+  st->link = group_link(cl->machine_, st->prof);
+  st->slots.resize(st->members.size());
+  return st;
+}
+
+}  // namespace detail
+
+}  // namespace ca3dmm::simmpi

@@ -1,0 +1,212 @@
+// Simulated-cluster runtime.
+//
+// A Cluster runs P ranks as threads in one address space. Every rank owns a
+// virtual clock; communication and compute operations advance it using the
+// Machine model, so "runtime" reported by benchmarks is deterministic
+// simulated time, independent of host scheduling and host core count. Data
+// movement is real (ranks exchange actual buffers), so algorithm correctness
+// is exercised end to end.
+//
+// Per-rank bookkeeping (virtual time per phase, peak tracked memory) is what
+// the benchmark harness reads to reproduce the paper's tables and figures.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/partition.hpp"
+#include "simmpi/machine.hpp"
+
+namespace ca3dmm::simmpi {
+
+class Comm;
+
+/// Phases every PGEMM algorithm in this repository charges its time to.
+/// These match the categories of the paper's Fig. 5 runtime breakdown
+/// ("replicate A,B" there is kReplicate + kShift here).
+enum class Phase {
+  kRedistribute,  ///< user layout <-> library-native layout conversion
+  kReplicate,     ///< A/B replication (all-gather / broadcast)
+  kShift,         ///< 2-D engine communication (Cannon shifts, SUMMA bcasts)
+  kCompute,       ///< local GEMM
+  kReduce,        ///< partial-C reduction (reduce-scatter / allreduce)
+  kMisc,          ///< everything else (barriers, setup)
+  kCount
+};
+
+const char* phase_name(Phase p);
+
+/// Per-rank results of a simulated run.
+struct RankStats {
+  double vtime = 0;                                  ///< final virtual clock
+  double phase_s[static_cast<int>(Phase::kCount)] = {};  ///< time per phase
+  double flops = 0;                                  ///< local flops executed
+  i64 peak_bytes = 0;                                ///< peak tracked memory
+  i64 cur_bytes = 0;
+
+  double phase(Phase p) const { return phase_s[static_cast<int>(p)]; }
+};
+
+/// One virtual-time interval of a rank spent in a phase (trace recording).
+struct TraceEvent {
+  Phase phase;
+  double t0, t1;  ///< virtual seconds
+};
+
+/// Mutable per-rank context; owned by Cluster, one per rank thread.
+struct RankCtx {
+  int world_rank = 0;
+  double clock = 0;          ///< virtual time (s)
+  double last_op_cost = 0;   ///< virtual cost of the most recent comm op
+  Phase cur_phase = Phase::kMisc;
+  RankStats stats;
+  const Machine* machine = nullptr;
+  bool trace_enabled = false;
+  std::vector<TraceEvent> trace;
+
+  void record(Phase p, double t0, double t1) {
+    if (trace_enabled && t1 > t0) trace.push_back(TraceEvent{p, t0, t1});
+  }
+  void charge(double seconds) {
+    record(cur_phase, clock, clock + seconds);
+    clock += seconds;
+    stats.phase_s[static_cast<int>(cur_phase)] += seconds;
+  }
+  void track_alloc(i64 bytes) {
+    stats.cur_bytes += bytes;
+    if (stats.cur_bytes > stats.peak_bytes) stats.peak_bytes = stats.cur_bytes;
+  }
+  void track_free(i64 bytes) { stats.cur_bytes -= bytes; }
+};
+
+/// Context of the calling rank thread; null outside Cluster::run.
+RankCtx* current_ctx();
+
+namespace detail {
+struct CommState;
+struct SendRec;
+/// Key identifying a point-to-point channel.
+struct ChannelKey {
+  std::uint64_t comm_id;
+  int src, dst, tag;
+  auto operator<=>(const ChannelKey&) const = default;
+};
+}  // namespace detail
+
+/// A simulated cluster of `nranks` ranks with a fixed machine model.
+class Cluster {
+ public:
+  Cluster(int nranks, Machine machine);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Runs `rank_main` on every rank (each on its own thread) with a world
+  /// communicator, and waits for all ranks to finish. Statistics are reset at
+  /// entry and readable afterwards. Rethrows the first rank exception.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  int nranks() const { return nranks_; }
+  const Machine& machine() const { return machine_; }
+
+  /// Stats of one rank after run().
+  const RankStats& stats(int rank) const;
+
+  /// Aggregate across ranks: max vtime, max per-phase time, max peak memory,
+  /// summed flops.
+  RankStats aggregate_stats() const;
+
+  /// Enables per-rank timeline recording for subsequent run() calls.
+  void set_trace(bool enabled) { trace_enabled_ = enabled; }
+
+  /// Writes the recorded timelines of the last run() in Chrome trace-event
+  /// JSON (open in chrome://tracing or https://ui.perfetto.dev): one track
+  /// per rank, one slice per phase interval, microsecond = simulated
+  /// microsecond. Requires set_trace(true) before run().
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  friend class Comm;
+  friend struct detail::CommState;
+
+  int nranks_;
+  Machine machine_;
+  std::vector<RankCtx> ctx_;
+
+  // One lock for all rendezvous state; the simulator targets correctness and
+  // deterministic virtual time, not host-parallel throughput.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<detail::ChannelKey, std::deque<detail::SendRec*>> channels_;
+  std::uint64_t next_comm_id_ = 1;
+  bool trace_enabled_ = false;
+};
+
+/// RAII owning buffer whose size is reported to the rank's memory tracker.
+/// All work buffers inside the PGEMM algorithms use this, which is how the
+/// Table I per-process memory numbers are measured.
+template <typename T>
+class TrackedBuffer {
+ public:
+  TrackedBuffer() = default;
+  explicit TrackedBuffer(i64 n) { resize(n); }
+  ~TrackedBuffer() { release(); }
+
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+  TrackedBuffer(TrackedBuffer&& o) noexcept { swap(o); }
+  TrackedBuffer& operator=(TrackedBuffer&& o) noexcept {
+    release();
+    swap(o);
+    return *this;
+  }
+
+  void resize(i64 n) {
+    release();
+    CA_ASSERT(n >= 0);
+    if (n == 0) return;
+    data_ = new T[static_cast<size_t>(n)]();
+    n_ = n;
+    ctx_ = current_ctx();
+    if (ctx_) ctx_->track_alloc(bytes());
+  }
+
+  void release() {
+    if (data_) {
+      if (ctx_) ctx_->track_free(bytes());
+      delete[] data_;
+    }
+    data_ = nullptr;
+    n_ = 0;
+    ctx_ = nullptr;
+  }
+
+  void swap(TrackedBuffer& o) noexcept {
+    std::swap(data_, o.data_);
+    std::swap(n_, o.n_);
+    std::swap(ctx_, o.ctx_);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  i64 size() const { return n_; }
+  i64 bytes() const { return n_ * static_cast<i64>(sizeof(T)); }
+  T& operator[](i64 i) { return data_[i]; }
+  const T& operator[](i64 i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  i64 n_ = 0;
+  RankCtx* ctx_ = nullptr;
+};
+
+}  // namespace ca3dmm::simmpi

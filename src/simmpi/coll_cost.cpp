@@ -1,0 +1,88 @@
+#include "simmpi/coll_cost.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace ca3dmm::simmpi {
+
+GroupProfile GroupProfile::from_world_ranks(const Machine& m,
+                                            const std::vector<int>& ranks) {
+  CA_ASSERT(!ranks.empty());
+  std::unordered_map<int, int> per_node;
+  for (int r : ranks) per_node[m.node_of_rank(r)]++;
+  GroupProfile g;
+  g.size = static_cast<int>(ranks.size());
+  g.nodes = static_cast<int>(per_node.size());
+  g.max_ranks_per_node = 0;
+  for (const auto& [node, cnt] : per_node)
+    g.max_ranks_per_node = std::max(g.max_ranks_per_node, cnt);
+  g.single_node = (g.nodes == 1);
+  return g;
+}
+
+LinkParams group_link(const Machine& m, const GroupProfile& g) {
+  const double beta_intra = 1.0 / m.intra_rank_bandwidth();
+  if (g.single_node || g.size <= 1)
+    return LinkParams{m.alpha_intra, beta_intra};
+  const double beta_inter = 1.0 / m.inter_rank_bandwidth();
+  // Fraction of butterfly traffic that stays inside a node when r of the
+  // group's ranks share each node: (r-1)/(p-1).
+  const double r = static_cast<double>(g.max_ranks_per_node);
+  const double p = static_cast<double>(g.size);
+  const double intra_frac = (r - 1.0) / (p - 1.0);
+  LinkParams l;
+  l.alpha = intra_frac * m.alpha_intra + (1.0 - intra_frac) * m.alpha_inter;
+  l.beta = intra_frac * beta_intra + (1.0 - intra_frac) * beta_inter;
+  return l;
+}
+
+double t_p2p(const Machine& m, double bytes, bool same_node) {
+  if (same_node)
+    return m.alpha_intra + bytes / m.intra_rank_bandwidth();
+  return m.alpha_inter + bytes / m.inter_rank_bandwidth();
+}
+
+double t_allgather(const LinkParams& l, double bytes, int p) {
+  if (p <= 1) return 0.0;
+  return l.alpha * log2d(p) + l.beta * bytes * (p - 1) / p;
+}
+
+double t_broadcast(const LinkParams& l, double bytes, int p) {
+  if (p <= 1) return 0.0;
+  return l.alpha * (log2d(p) + p - 1) + 2.0 * l.beta * bytes * (p - 1) / p;
+}
+
+double t_reduce_scatter(const LinkParams& l, double bytes, int p) {
+  if (p <= 1) return 0.0;
+  return l.alpha * (p - 1) + l.beta * bytes * (p - 1) / p;
+}
+
+double t_allreduce(const LinkParams& l, double bytes, int p) {
+  // Butterfly allreduce = reduce-scatter + allgather.
+  return t_reduce_scatter(l, bytes, p) + t_allgather(l, bytes, p);
+}
+
+double t_alltoallv(const LinkParams& l, double max_bytes, int p) {
+  if (p <= 1) return 0.0;
+  return l.alpha * (p - 1) + l.beta * max_bytes;
+}
+
+double t_reduce_scatter_machine(const Machine& m, const LinkParams& l,
+                                double bytes, int p) {
+  double t = t_reduce_scatter(l, bytes, p);
+  if (p > 1 && bytes / p > m.rs_penalty_threshold_bytes)
+    t *= m.rs_penalty_factor;
+  return t;
+}
+
+double t_alltoallv_machine(const Machine& m, const LinkParams& l,
+                           double max_bytes, int p, bool single_node) {
+  if (p <= 1) return 0.0;
+  if (single_node) return t_alltoallv(l, max_bytes, p);
+  return l.alpha * (p - 1) * m.alltoallv_alpha_factor +
+         l.beta * max_bytes * m.alltoallv_beta_factor;
+}
+
+}  // namespace ca3dmm::simmpi

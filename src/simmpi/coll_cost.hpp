@@ -1,0 +1,78 @@
+// Collective cost formulas (paper §III-D).
+//
+// The paper assumes butterfly-network collectives, optimal or near-optimal in
+// the alpha-beta model, with costs
+//
+//   T_allgather(n, P)      = alpha log2(P)        + beta n (P-1)/P
+//   T_broadcast(n, P)      = alpha (log2(P)+P-1)  + 2 beta n (P-1)/P
+//   T_reduce_scatter(n, P) = alpha (P-1)          + beta n (P-1)/P
+//
+// where n is the total message size. These functions are shared between the
+// executable engine (simmpi charges them to rank virtual clocks) and the
+// analytic cost model, so the two layers are consistent by construction.
+//
+// A process group spanning several nodes sees a mix of intra-node and
+// inter-node links. GroupProfile summarizes the composition of a group; the
+// effective alpha/beta are the intra/inter parameters mixed by the fraction
+// of traffic that stays inside a node. For a butterfly schedule over
+// contiguously placed ranks this byte fraction is (r-1)/(p-1) for r group
+// ranks per node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/machine.hpp"
+
+namespace ca3dmm::simmpi {
+
+/// Composition of a process group with respect to node placement.
+struct GroupProfile {
+  int size = 1;            ///< number of ranks in the group
+  int nodes = 1;           ///< number of distinct nodes the group touches
+  int max_ranks_per_node = 1;
+  bool single_node = true;
+
+  static GroupProfile from_world_ranks(const Machine& m,
+                                       const std::vector<int>& world_ranks);
+};
+
+/// Effective per-rank latency/inverse-bandwidth of a group's links.
+struct LinkParams {
+  double alpha = 0;  ///< seconds per message
+  double beta = 0;   ///< seconds per byte
+};
+
+/// Mixes intra/inter-node parameters according to the group composition.
+LinkParams group_link(const Machine& m, const GroupProfile& g);
+
+/// Point-to-point message cost; `same_node` selects the link class.
+double t_p2p(const Machine& m, double bytes, bool same_node);
+
+// Collective costs. `bytes` is the total message size n of the paper's
+// formulas (e.g. for allgather: the size of the concatenated result).
+double t_allgather(const LinkParams& l, double bytes, int p);
+double t_broadcast(const LinkParams& l, double bytes, int p);
+double t_reduce_scatter(const LinkParams& l, double bytes, int p);
+double t_allreduce(const LinkParams& l, double bytes, int p);
+/// Personalized all-to-all with per-rank maximum send/recv volume `max_bytes`.
+double t_alltoallv(const LinkParams& l, double max_bytes, int p);
+
+/// Reduce-scatter with the machine's large-message penalty applied (models
+/// the MVAPICH2 degradation the paper reports in §IV-C for GPU runs).
+double t_reduce_scatter_machine(const Machine& m, const LinkParams& l,
+                                double bytes, int p);
+
+/// Personalized all-to-all with the machine's congestion/message-rate
+/// factors applied (multi-node groups only) — the cost the redistribution
+/// step actually pays.
+double t_alltoallv_machine(const Machine& m, const LinkParams& l,
+                           double max_bytes, int p, bool single_node);
+
+inline double log2d(int p) {
+  double l = 0;
+  while ((1 << static_cast<int>(l)) < p) l += 1.0;
+  return l;
+}
+
+}  // namespace ca3dmm::simmpi

@@ -1,0 +1,476 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "simmpi/detail_state.hpp"
+
+namespace ca3dmm::simmpi {
+
+using detail::ChannelKey;
+using detail::CommState;
+using detail::SendRec;
+
+namespace {
+
+/// Generic collective rendezvous. Every member stores its arguments into its
+/// slot; the last rank to arrive performs the data movement (all buffers are
+/// reachable in the shared address space), computes the virtual cost with
+/// `perform`, and releases the group. Exit clock for everyone is
+/// max(entry clocks) + cost. `finish` runs for every rank, under the lock,
+/// after completion (used by split to fetch its result).
+template <class Fill, class Perform, class Finish>
+void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
+                    Perform&& perform, Finish&& finish) {
+  RankCtx* ctx = current_ctx();
+  CA_ASSERT(ctx != nullptr);
+  const int p = static_cast<int>(st.members.size());
+
+  std::unique_lock<std::mutex> lk(st.mu());
+  CommState::Slot& slot = st.slots[static_cast<size_t>(me)];
+  slot = CommState::Slot{};
+  fill(slot);
+  slot.t_entry = ctx->clock;
+  if (st.arrived == 0)
+    st.op = op;
+  else
+    CA_ASSERT_MSG(st.op == op, "mismatched collective on comm %llu",
+                  static_cast<unsigned long long>(st.id));
+  const std::uint64_t gen = st.generation;
+  st.arrived++;
+  if (st.arrived == p) {
+    double t0 = 0;
+    for (const auto& s : st.slots) t0 = std::max(t0, s.t_entry);
+    const double cost = perform(st);
+    st.exit_time = t0 + cost;
+    st.arrived = 0;
+    st.op = CommState::Op::kNone;
+    st.generation++;
+    st.cv().notify_all();
+  } else {
+    st.cv().wait(lk, [&] { return st.generation != gen; });
+  }
+  const double delta = st.exit_time - ctx->clock;
+  CA_ASSERT(delta >= -1e-12);
+  ctx->last_op_cost = std::max(0.0, delta);
+  ctx->charge(std::max(0.0, delta));
+  finish(st);
+}
+
+struct NoFinish {
+  void operator()(CommState&) const {}
+};
+
+/// Element-wise sum of `n` elements from `src` into `dst`.
+void reduce_sum_into(void* dst, const void* src, i64 n, Dtype d) {
+  if (d == Dtype::kF64) {
+    double* a = static_cast<double*>(dst);
+    const double* b = static_cast<const double*>(src);
+    for (i64 i = 0; i < n; ++i) a[i] += b[i];
+  } else {
+    float* a = static_cast<float*>(dst);
+    const float* b = static_cast<const float*>(src);
+    for (i64 i = 0; i < n; ++i) a[i] += b[i];
+  }
+}
+
+}  // namespace
+
+int Comm::rank() const { return my_index_; }
+
+int Comm::size() const {
+  return static_cast<int>(state_->members.size());
+}
+
+int Comm::world_rank_of(int r) const {
+  CA_ASSERT(r >= 0 && r < size());
+  return state_->members[static_cast<size_t>(r)];
+}
+
+bool Comm::same_node(int other) const {
+  const Machine& m = machine();
+  return m.node_of_rank(world_rank()) == m.node_of_rank(world_rank_of(other));
+}
+
+const Machine& Comm::machine() const { return state_->cluster->machine_; }
+
+const GroupProfile& Comm::profile() const { return state_->prof; }
+
+double Comm::now() const { return current_ctx()->clock; }
+
+double Comm::last_op_cost() const { return current_ctx()->last_op_cost; }
+
+void Comm::set_phase(Phase p) { current_ctx()->cur_phase = p; }
+
+Phase Comm::phase() const { return current_ctx()->cur_phase; }
+
+void Comm::charge_compute(double flops, double bytes) {
+  RankCtx* ctx = current_ctx();
+  const double t = machine().gemm_time(flops, bytes);
+  ctx->stats.flops += flops;
+  ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
+  ctx->record(Phase::kCompute, ctx->clock, ctx->clock + t);
+  ctx->clock += t;
+}
+
+void Comm::charge_overlapped_compute(double flops, double bytes) {
+  charge_compute_overlap_budget(flops, bytes, current_ctx()->last_op_cost);
+}
+
+void Comm::charge_compute_overlap_budget(double flops, double bytes,
+                                         double budget) {
+  RankCtx* ctx = current_ctx();
+  // The paper's GPU implementation is a prototype that "simply offloads
+  // local matrix multiplications" (§IV-C) — no communication/computation
+  // pipelining on the device path. On CPU, only a fraction of the in-flight
+  // communication actually hides behind the GEMM.
+  budget = machine().use_gpu ? 0.0 : budget * machine().overlap_efficiency;
+  const double t = machine().gemm_time(flops, bytes);
+  ctx->stats.flops += flops;
+  // The full GEMM time is reported in the compute phase; the clock only
+  // advances by the part that does not hide behind the in-flight
+  // communication (dual-buffer overlap).
+  ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
+  const double adv = std::max(0.0, t - budget);
+  ctx->record(Phase::kCompute, ctx->clock, ctx->clock + adv);
+  ctx->clock += adv;
+}
+
+// ---------------- collectives ----------------
+
+void Comm::barrier() {
+  run_collective(
+      *state_, my_index_, CommState::Op::kBarrier, [](CommState::Slot&) {},
+      [](CommState& st) {
+        return st.link.alpha * log2d(static_cast<int>(st.members.size()));
+      },
+      NoFinish{});
+}
+
+void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
+  CA_ASSERT(root >= 0 && root < size());
+  run_collective(
+      *state_, my_index_, CommState::Op::kBcast,
+      [&](CommState::Slot& s) {
+        s.rbuf = buf;
+        s.n0 = bytes;
+        s.i0 = root;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        const void* src = st.slots[static_cast<size_t>(root)].rbuf;
+        for (int j = 0; j < p; ++j) {
+          CA_ASSERT(st.slots[static_cast<size_t>(j)].i0 == root);
+          CA_ASSERT(st.slots[static_cast<size_t>(j)].n0 == bytes);
+          if (j != root)
+            std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, src,
+                        static_cast<size_t>(bytes));
+        }
+        return t_broadcast(st.link, static_cast<double>(bytes), p);
+      },
+      NoFinish{});
+}
+
+void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
+  run_collective(
+      *state_, my_index_, CommState::Op::kAllgather,
+      [&](CommState::Slot& s) {
+        s.sbuf = sbuf;
+        s.rbuf = rbuf;
+        s.n0 = bytes_each;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        for (int j = 0; j < p; ++j) {
+          const auto& sj = st.slots[static_cast<size_t>(j)];
+          CA_ASSERT(sj.n0 == bytes_each);
+          for (int d = 0; d < p; ++d) {
+            auto& sd = st.slots[static_cast<size_t>(d)];
+            std::memcpy(static_cast<char*>(sd.rbuf) + j * bytes_each, sj.sbuf,
+                        static_cast<size_t>(bytes_each));
+          }
+        }
+        return t_allgather(st.link, static_cast<double>(bytes_each) * p, p);
+      },
+      NoFinish{});
+}
+
+void Comm::allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
+                            const std::vector<i64>& counts) {
+  CA_ASSERT(static_cast<int>(counts.size()) == size());
+  CA_ASSERT(counts[static_cast<size_t>(my_index_)] == my_bytes);
+  run_collective(
+      *state_, my_index_, CommState::Op::kAllgatherv,
+      [&](CommState::Slot& s) {
+        s.sbuf = sbuf;
+        s.rbuf = rbuf;
+        s.n0 = my_bytes;
+        s.v0 = &counts;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        i64 total = 0;
+        for (int j = 0; j < p; ++j) total += counts[static_cast<size_t>(j)];
+        i64 off = 0;
+        for (int j = 0; j < p; ++j) {
+          const auto& sj = st.slots[static_cast<size_t>(j)];
+          const i64 nj = counts[static_cast<size_t>(j)];
+          for (int d = 0; d < p; ++d) {
+            auto& sd = st.slots[static_cast<size_t>(d)];
+            if (nj > 0)
+              std::memcpy(static_cast<char*>(sd.rbuf) + off, sj.sbuf,
+                          static_cast<size_t>(nj));
+          }
+          off += nj;
+        }
+        return t_allgather(st.link, static_cast<double>(total), p);
+      },
+      NoFinish{});
+}
+
+void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
+                              const std::vector<i64>& counts, Dtype dtype,
+                              bool custom_tree) {
+  CA_ASSERT(static_cast<int>(counts.size()) == size());
+  run_collective(
+      *state_, my_index_, CommState::Op::kReduceScatter,
+      [&](CommState::Slot& s) {
+        s.sbuf = sbuf;
+        s.rbuf = rbuf;
+        s.v0 = &counts;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        const i64 esize = dtype_size(dtype);
+        i64 total = 0;
+        for (i64 c : counts) total += c;
+        i64 off = 0;  // element offset of destination segment
+        for (int d = 0; d < p; ++d) {
+          const i64 nd = counts[static_cast<size_t>(d)];
+          auto& sd = st.slots[static_cast<size_t>(d)];
+          if (nd > 0) {
+            // Start from member 0's segment, then accumulate the rest.
+            std::memcpy(sd.rbuf,
+                        static_cast<const char*>(st.slots[0].sbuf) + off * esize,
+                        static_cast<size_t>(nd * esize));
+            for (int j = 1; j < p; ++j)
+              reduce_sum_into(sd.rbuf,
+                              static_cast<const char*>(
+                                  st.slots[static_cast<size_t>(j)].sbuf) +
+                                  off * esize,
+                              nd, dtype);
+          }
+          off += nd;
+        }
+        if (custom_tree)
+          return t_reduce_scatter(st.link, static_cast<double>(total * esize),
+                                  p);
+        return t_reduce_scatter_machine(st.cluster->machine_, st.link,
+                                        static_cast<double>(total * esize), p);
+      },
+      NoFinish{});
+}
+
+void Comm::allreduce_sum(const void* sbuf, void* rbuf, i64 count, Dtype dtype) {
+  run_collective(
+      *state_, my_index_, CommState::Op::kAllreduce,
+      [&](CommState::Slot& s) {
+        s.sbuf = sbuf;
+        s.rbuf = rbuf;
+        s.n0 = count;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        const i64 esize = dtype_size(dtype);
+        // Sum into member 0's rbuf, then copy to all.
+        auto& s0 = st.slots[0];
+        std::memcpy(s0.rbuf, s0.sbuf, static_cast<size_t>(count * esize));
+        for (int j = 1; j < p; ++j)
+          reduce_sum_into(s0.rbuf, st.slots[static_cast<size_t>(j)].sbuf,
+                          count, dtype);
+        for (int j = 1; j < p; ++j)
+          std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, s0.rbuf,
+                      static_cast<size_t>(count * esize));
+        return t_allreduce(st.link, static_cast<double>(count * esize), p);
+      },
+      NoFinish{});
+}
+
+void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
+                           const std::vector<i64>& sdispls, void* rbuf,
+                           const std::vector<i64>& rcounts,
+                           const std::vector<i64>& rdispls) {
+  const int p = size();
+  CA_ASSERT(static_cast<int>(scounts.size()) == p &&
+            static_cast<int>(rcounts.size()) == p);
+  run_collective(
+      *state_, my_index_, CommState::Op::kAlltoallv,
+      [&](CommState::Slot& s) {
+        s.sbuf = sbuf;
+        s.rbuf = rbuf;
+        s.v0 = &scounts;
+        s.v1 = &sdispls;
+        s.v2 = &rcounts;
+        s.v3 = &rdispls;
+      },
+      [&](CommState& st) {
+        double max_bytes = 0;
+        for (int src = 0; src < p; ++src) {
+          const auto& ss = st.slots[static_cast<size_t>(src)];
+          i64 sent = 0, recvd = 0;
+          for (int dst = 0; dst < p; ++dst) {
+            const auto& sd = st.slots[static_cast<size_t>(dst)];
+            const i64 n = (*ss.v0)[static_cast<size_t>(dst)];
+            CA_ASSERT_MSG(n == (*sd.v2)[static_cast<size_t>(src)],
+                          "alltoallv count mismatch %d->%d", src, dst);
+            if (n > 0)
+              std::memcpy(static_cast<char*>(sd.rbuf) +
+                              (*sd.v3)[static_cast<size_t>(src)],
+                          static_cast<const char*>(ss.sbuf) +
+                              (*ss.v1)[static_cast<size_t>(dst)],
+                          static_cast<size_t>(n));
+            if (dst != src) {  // self-copies are not network traffic
+              sent += n;
+              recvd += (*ss.v2)[static_cast<size_t>(dst)];
+            }
+          }
+          max_bytes = std::max(max_bytes,
+                               static_cast<double>(std::max(sent, recvd)));
+        }
+        return t_alltoallv_machine(st.cluster->machine_, st.link, max_bytes,
+                                   p, st.prof.single_node);
+      },
+      NoFinish{});
+}
+
+Comm Comm::split(int color, int key) const {
+  std::pair<std::shared_ptr<CommState>, int> result{nullptr, -1};
+  run_collective(
+      *state_, my_index_, CommState::Op::kSplit,
+      [&](CommState::Slot& s) {
+        s.i0 = color;
+        s.i1 = key;
+      },
+      [&](CommState& st) {
+        const int p = static_cast<int>(st.members.size());
+        st.split_out.assign(static_cast<size_t>(p), {nullptr, -1});
+        // Collect colors in ascending order; negative color = undefined.
+        std::map<int, std::vector<int>> groups;  // color -> member indices
+        for (int j = 0; j < p; ++j)
+          if (st.slots[static_cast<size_t>(j)].i0 >= 0)
+            groups[st.slots[static_cast<size_t>(j)].i0].push_back(j);
+        for (auto& [c, idxs] : groups) {
+          std::stable_sort(idxs.begin(), idxs.end(), [&](int a, int b) {
+            return st.slots[static_cast<size_t>(a)].i1 <
+                   st.slots[static_cast<size_t>(b)].i1;
+          });
+          std::vector<int> members;
+          members.reserve(idxs.size());
+          for (int j : idxs)
+            members.push_back(st.members[static_cast<size_t>(j)]);
+          auto ns = CommState::create(st.cluster, std::move(members));
+          for (size_t i = 0; i < idxs.size(); ++i)
+            st.split_out[static_cast<size_t>(idxs[i])] = {ns,
+                                                          static_cast<int>(i)};
+        }
+        // Modelled as an allgather of one small word per rank.
+        return t_allgather(st.link, 8.0 * p, p);
+      },
+      [&](CommState& st) {
+        result = st.split_out[static_cast<size_t>(my_index_)];
+      });
+  if (!result.first) return Comm();
+  return Comm(std::move(result.first), result.second);
+}
+
+// ---------------- point-to-point ----------------
+
+void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
+  Cluster* cl = state_->cluster;
+  RankCtx* ctx = current_ctx();
+  const double entry = ctx->clock;
+  const int dst_w = world_rank_of(dst);
+  auto rec = std::make_unique<SendRec>();
+  rec->bytes = bytes;
+  rec->t_entry = entry;
+  rec->eager = true;
+  if (bytes > 0) {
+    rec->owned = std::make_unique<char[]>(static_cast<size_t>(bytes));
+    std::memcpy(rec->owned.get(), buf, static_cast<size_t>(bytes));
+    rec->buf = rec->owned.get();
+  }
+  const ChannelKey key{state_->id, world_rank(), dst_w, tag};
+  {
+    std::unique_lock<std::mutex> lk(cl->mu_);
+    cl->channels_[key].push_back(rec.release());  // receiver deletes
+    cl->cv_.notify_all();
+  }
+  const bool same =
+      machine().node_of_rank(world_rank()) == machine().node_of_rank(dst_w);
+  const double t = t_p2p(machine(), static_cast<double>(bytes), same);
+  ctx->last_op_cost = t;
+  ctx->charge(t);
+}
+
+void Comm::recv_bytes(void* buf, i64 bytes, int src, int tag) {
+  Cluster* cl = state_->cluster;
+  RankCtx* ctx = current_ctx();
+  const double entry = ctx->clock;
+  const ChannelKey key{state_->id, world_rank_of(src), world_rank(), tag};
+  double exit = 0;
+  {
+    std::unique_lock<std::mutex> lk(cl->mu_);
+    SendRec* rec = nullptr;
+    cl->cv_.wait(lk, [&] {
+      auto it = cl->channels_.find(key);
+      if (it == cl->channels_.end() || it->second.empty()) return false;
+      rec = it->second.front();
+      return true;
+    });
+    cl->channels_[key].pop_front();
+    CA_ASSERT_MSG(rec->bytes == bytes, "recv size mismatch: posted %lld, got %lld",
+                  static_cast<long long>(bytes),
+                  static_cast<long long>(rec->bytes));
+    if (bytes > 0) std::memmove(buf, rec->buf, static_cast<size_t>(bytes));
+    const bool same =
+        machine().node_of_rank(key.src) == machine().node_of_rank(key.dst);
+    const double t = t_p2p(machine(), static_cast<double>(bytes), same);
+    exit = std::max(entry, rec->t_entry) + t;
+    if (rec->eager) {
+      delete rec;
+    } else {
+      rec->t_exit = exit;
+      rec->consumed = true;
+      cl->cv_.notify_all();
+    }
+  }
+  ctx->last_op_cost = exit - entry;
+  ctx->charge(exit - ctx->clock);
+}
+
+void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
+                          i64 rbytes, int src, int tag) {
+  Cluster* cl = state_->cluster;
+  RankCtx* ctx = current_ctx();
+  const double entry = ctx->clock;
+  SendRec rec;
+  rec.buf = sbuf;
+  rec.bytes = sbytes;
+  rec.t_entry = entry;
+  const ChannelKey skey{state_->id, world_rank(), world_rank_of(dst), tag};
+  {
+    std::unique_lock<std::mutex> lk(cl->mu_);
+    cl->channels_[skey].push_back(&rec);
+    cl->cv_.notify_all();
+  }
+  recv_bytes(rbuf, rbytes, src, tag);
+  {
+    std::unique_lock<std::mutex> lk(cl->mu_);
+    cl->cv_.wait(lk, [&] { return rec.consumed; });
+  }
+  if (rec.t_exit > ctx->clock) ctx->charge(rec.t_exit - ctx->clock);
+  ctx->last_op_cost = ctx->clock - entry;
+}
+
+}  // namespace ca3dmm::simmpi

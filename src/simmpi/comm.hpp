@@ -1,0 +1,161 @@
+// Communicator for the simulated cluster — the MPI subset every PGEMM
+// algorithm in this repository needs.
+//
+// Semantics follow MPI: collectives are called by every member of the
+// communicator with matching operation and sizes; point-to-point send/recv
+// use (source, destination, tag) matching with rendezvous (synchronous-send)
+// semantics. Each operation moves real data between rank buffers AND charges
+// virtual time to every participant: exit clock = max(entry clocks) + cost,
+// where cost comes from the butterfly-collective formulas of paper §III-D
+// (coll_cost.hpp) evaluated with the communicator's node-placement profile.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/partition.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/coll_cost.hpp"
+
+namespace ca3dmm::simmpi {
+
+/// Element type tag for reduction operations.
+enum class Dtype { kF32, kF64 };
+
+inline i64 dtype_size(Dtype d) { return d == Dtype::kF64 ? 8 : 4; }
+
+template <typename T>
+constexpr Dtype dtype_of();
+template <>
+constexpr Dtype dtype_of<float>() { return Dtype::kF32; }
+template <>
+constexpr Dtype dtype_of<double>() { return Dtype::kF64; }
+
+class Comm {
+ public:
+  Comm() = default;
+
+  int rank() const;
+  int size() const;
+  /// World rank of group member `r`.
+  int world_rank_of(int r) const;
+  int world_rank() const { return world_rank_of(rank()); }
+  bool same_node(int other) const;
+  const Machine& machine() const;
+  const GroupProfile& profile() const;
+  bool valid() const { return state_ != nullptr; }
+
+  /// MPI_Comm_split: ranks with equal `color` form a new communicator,
+  /// ordered by (key, current rank). color < 0 returns an invalid Comm
+  /// (MPI_UNDEFINED).
+  Comm split(int color, int key) const;
+
+  // ---- point-to-point (rendezvous semantics) ----
+  void send_bytes(const void* buf, i64 bytes, int dst, int tag);
+  void recv_bytes(void* buf, i64 bytes, int src, int tag);
+  /// Simultaneous send+receive (deadlock-free on shift rings).
+  void sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
+                      i64 rbytes, int src, int tag);
+
+  // ---- collectives ----
+  void barrier();
+  void bcast_bytes(void* buf, i64 bytes, int root);
+  /// Every rank contributes `bytes_each`; result (size * bytes_each) lands in
+  /// rank order in rbuf on every rank.
+  void allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf);
+  /// Variable-size allgather; counts[r] = bytes contributed by rank r.
+  void allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
+                        const std::vector<i64>& counts);
+  /// Reduce-scatter with sum: sbuf holds sum(counts) elements on every rank;
+  /// rank r receives the element-wise sum of segment r (counts[r] elements).
+  /// `custom_tree` models an application-implemented reduction tree (what
+  /// COSMA does) instead of the MPI library's MPI_Reduce_scatter: it skips
+  /// the machine's large-message degradation (paper §IV-C).
+  void reduce_scatter_sum(const void* sbuf, void* rbuf,
+                          const std::vector<i64>& counts, Dtype dtype,
+                          bool custom_tree = false);
+  void allreduce_sum(const void* sbuf, void* rbuf, i64 count, Dtype dtype);
+  /// Personalized all-to-all, byte counts/displacements per peer.
+  void alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
+                       const std::vector<i64>& sdispls, void* rbuf,
+                       const std::vector<i64>& rcounts,
+                       const std::vector<i64>& rdispls);
+
+  // ---- typed convenience wrappers ----
+  template <typename T>
+  void send(const T* buf, i64 n, int dst, int tag) {
+    send_bytes(buf, n * static_cast<i64>(sizeof(T)), dst, tag);
+  }
+  template <typename T>
+  void recv(T* buf, i64 n, int src, int tag) {
+    recv_bytes(buf, n * static_cast<i64>(sizeof(T)), src, tag);
+  }
+  template <typename T>
+  void sendrecv(const T* sbuf, i64 sn, int dst, T* rbuf, i64 rn, int src,
+                int tag) {
+    sendrecv_bytes(sbuf, sn * static_cast<i64>(sizeof(T)), dst, rbuf,
+                   rn * static_cast<i64>(sizeof(T)), src, tag);
+  }
+  template <typename T>
+  void bcast(T* buf, i64 n, int root) {
+    bcast_bytes(buf, n * static_cast<i64>(sizeof(T)), root);
+  }
+  template <typename T>
+  void allgather(const T* sbuf, i64 n_each, T* rbuf) {
+    allgather_bytes(sbuf, n_each * static_cast<i64>(sizeof(T)), rbuf);
+  }
+  template <typename T>
+  void reduce_scatter(const T* sbuf, T* rbuf, const std::vector<i64>& counts,
+                      bool custom_tree = false) {
+    reduce_scatter_sum(sbuf, rbuf, counts, dtype_of<T>(), custom_tree);
+  }
+  template <typename T>
+  void allreduce(const T* sbuf, T* rbuf, i64 n) {
+    allreduce_sum(sbuf, rbuf, n, dtype_of<T>());
+  }
+
+  // ---- virtual clock ----
+  double now() const;
+  /// Charges a local GEMM of `flops` touching `bytes` to the compute phase.
+  void charge_compute(double flops, double bytes);
+  /// Charges a local GEMM that is overlapped with the immediately preceding
+  /// communication op: only max(0, t_gemm - t_comm) is added to the clock,
+  /// modelling perfect overlap.
+  void charge_overlapped_compute(double flops, double bytes);
+  /// Charges a local GEMM overlapped with `budget` seconds of already-charged
+  /// communication (dual-buffer Cannon posts two shifts per step; the GEMM
+  /// hides behind their combined cost). Clock advances by
+  /// max(0, t_gemm - budget); the full GEMM time is still reported in the
+  /// compute phase.
+  void charge_compute_overlap_budget(double flops, double bytes,
+                                     double budget);
+  /// Virtual cost of this rank's most recent communication operation.
+  double last_op_cost() const;
+  /// Selects the phase subsequent charges accumulate to.
+  void set_phase(Phase p);
+  Phase phase() const;
+
+ private:
+  friend class Cluster;
+  explicit Comm(std::shared_ptr<detail::CommState> s, int my_index)
+      : state_(std::move(s)), my_index_(my_index) {}
+
+  std::shared_ptr<detail::CommState> state_;
+  int my_index_ = -1;
+};
+
+/// RAII helper: sets the phase on construction, restores on destruction.
+class PhaseScope {
+ public:
+  PhaseScope(Comm& c, Phase p) : c_(c), saved_(c.phase()) { c_.set_phase(p); }
+  ~PhaseScope() { c_.set_phase(saved_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Comm& c_;
+  Phase saved_;
+};
+
+}  // namespace ca3dmm::simmpi

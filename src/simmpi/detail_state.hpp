@@ -1,0 +1,84 @@
+// Internal rendezvous state shared by Cluster and Comm. Not part of the
+// public API.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simmpi/cluster.hpp"
+#include "simmpi/coll_cost.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm::simmpi::detail {
+
+/// A pending send. Plain send() is eager (MPI standard-mode style): the
+/// payload is copied into `owned` and the sender proceeds, so send/recv
+/// ordering across communicators cannot deadlock. sendrecv() deposits the
+/// caller's buffer zero-copy and rendezvous-waits, which is safe because
+/// both directions are posted before either blocks.
+struct SendRec {
+  const void* buf = nullptr;
+  i64 bytes = 0;
+  double t_entry = 0;
+  bool consumed = false;
+  double t_exit = 0;
+  std::unique_ptr<char[]> owned;  ///< non-null for eager sends
+  bool eager = false;
+};
+
+/// Shared state of one communicator: membership plus a single in-flight
+/// collective rendezvous. MPI semantics guarantee all members call the same
+/// collective in the same order, so one slot set per communicator suffices.
+struct CommState {
+  enum class Op {
+    kNone,
+    kBarrier,
+    kBcast,
+    kAllgather,
+    kAllgatherv,
+    kReduceScatter,
+    kAllreduce,
+    kAlltoallv,
+    kSplit,
+  };
+
+  Cluster* cluster = nullptr;
+  std::uint64_t id = 0;
+  std::vector<int> members;  ///< world rank of each group rank
+  GroupProfile prof;
+  LinkParams link;
+
+  // --- rendezvous ---
+  Op op = Op::kNone;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  double exit_time = 0;
+
+  struct Slot {
+    const void* sbuf = nullptr;
+    void* rbuf = nullptr;
+    i64 n0 = 0;
+    int i0 = 0, i1 = 0;
+    const std::vector<i64>* v0 = nullptr;
+    const std::vector<i64>* v1 = nullptr;
+    const std::vector<i64>* v2 = nullptr;
+    const std::vector<i64>* v3 = nullptr;
+    double t_entry = 0;
+  };
+  std::vector<Slot> slots;
+  Dtype dtype = Dtype::kF64;
+  int root = 0;
+
+  /// Per-member results of a split (new state + index within it).
+  std::vector<std::pair<std::shared_ptr<CommState>, int>> split_out;
+
+  // CommState is a friend of Cluster; these let the collective runner reach
+  // the cluster-wide rendezvous lock.
+  std::mutex& mu() const { return cluster->mu_; }
+  std::condition_variable& cv() const { return cluster->cv_; }
+
+  static std::shared_ptr<CommState> create(Cluster* cl,
+                                           std::vector<int> members);
+};
+
+}  // namespace ca3dmm::simmpi::detail

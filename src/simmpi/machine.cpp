@@ -1,0 +1,44 @@
+#include "simmpi/machine.hpp"
+
+namespace ca3dmm::simmpi {
+
+Machine Machine::phoenix_mpi() {
+  Machine m;
+  m.ranks_per_node = 24;
+  m.threads_per_rank = 1;
+  return m;
+}
+
+Machine Machine::phoenix_hybrid() {
+  Machine m;
+  m.ranks_per_node = 1;
+  m.threads_per_rank = 24;
+  return m;
+}
+
+Machine Machine::phoenix_gpu() {
+  Machine m;
+  m.use_gpu = true;
+  m.ranks_per_node = 2;   // two V100 per node, one rank per GPU
+  m.threads_per_rank = 1;
+  return m;
+}
+
+Machine Machine::unit_test() {
+  Machine m;
+  m.alpha_inter = 1e-6;
+  m.alpha_intra = 1e-6;
+  m.nic_bandwidth = 1e9;
+  m.mem_bandwidth = 1e9;
+  m.single_rank_nic_fraction = 1.0;
+  m.cores_per_node = 1;
+  m.ranks_per_node = 1;  // every rank on its own node: uniform network
+  m.threads_per_rank = 1;
+  m.flops_per_core = 1e9;
+  m.peak_flops_per_core = 1e9;
+  m.gemm_call_overhead = 0.0;
+  m.overlap_efficiency = 1.0;  // exact-value tests assume ideal overlap
+  return m;
+}
+
+}  // namespace ca3dmm::simmpi

@@ -1,0 +1,126 @@
+// Unit tests of the collective cost formulas (paper §III-D) and the link
+// mixing rules — these functions are the contract shared by the engine and
+// the cost model, so they get their own direct coverage.
+#include <gtest/gtest.h>
+
+#include "simmpi/coll_cost.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+constexpr double kA = 2e-6, kB = 5e-10;
+
+TEST(CollCost, PaperFormulas) {
+  const LinkParams l{kA, kB};
+  const double n = 1e6;  // bytes
+  // T_allgather = alpha log2 P + beta n (P-1)/P
+  EXPECT_DOUBLE_EQ(t_allgather(l, n, 8), kA * 3 + kB * n * 7 / 8);
+  // T_broadcast = alpha (log2 P + P - 1) + 2 beta n (P-1)/P
+  EXPECT_DOUBLE_EQ(t_broadcast(l, n, 8), kA * (3 + 7) + 2 * kB * n * 7 / 8);
+  // T_reduce_scatter = alpha (P-1) + beta n (P-1)/P
+  EXPECT_DOUBLE_EQ(t_reduce_scatter(l, n, 8), kA * 7 + kB * n * 7 / 8);
+  // Allreduce = reduce-scatter + allgather.
+  EXPECT_DOUBLE_EQ(t_allreduce(l, n, 8),
+                   t_reduce_scatter(l, n, 8) + t_allgather(l, n, 8));
+}
+
+TEST(CollCost, TrivialGroups) {
+  const LinkParams l{kA, kB};
+  EXPECT_DOUBLE_EQ(t_allgather(l, 1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t_broadcast(l, 1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t_reduce_scatter(l, 1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t_alltoallv(l, 1e6, 1), 0.0);
+}
+
+TEST(CollCost, NonPowerOfTwoLog) {
+  // log2d rounds up to whole butterfly rounds.
+  EXPECT_DOUBLE_EQ(log2d(1), 0.0);
+  EXPECT_DOUBLE_EQ(log2d(2), 1.0);
+  EXPECT_DOUBLE_EQ(log2d(3), 2.0);
+  EXPECT_DOUBLE_EQ(log2d(341), 9.0);
+  EXPECT_DOUBLE_EQ(log2d(512), 9.0);
+}
+
+TEST(CollCost, GroupLinkSingleNodeUsesIntraParams) {
+  Machine m = Machine::phoenix_mpi();  // 24 ranks/node
+  GroupProfile g;
+  g.size = 8;
+  g.nodes = 1;
+  g.max_ranks_per_node = 8;
+  g.single_node = true;
+  const LinkParams l = group_link(m, g);
+  EXPECT_DOUBLE_EQ(l.alpha, m.alpha_intra);
+  EXPECT_DOUBLE_EQ(l.beta, 1.0 / m.intra_rank_bandwidth());
+}
+
+TEST(CollCost, GroupLinkAllRemoteUsesInterParams) {
+  Machine m = Machine::phoenix_mpi();
+  GroupProfile g;
+  g.size = 16;
+  g.nodes = 16;
+  g.max_ranks_per_node = 1;
+  g.single_node = false;
+  const LinkParams l = group_link(m, g);
+  EXPECT_DOUBLE_EQ(l.alpha, m.alpha_inter);
+  EXPECT_DOUBLE_EQ(l.beta, 1.0 / m.inter_rank_bandwidth());
+}
+
+TEST(CollCost, GroupLinkMixesByIntraByteFraction) {
+  Machine m = Machine::phoenix_mpi();
+  GroupProfile g;
+  g.size = 48;  // two full nodes
+  g.nodes = 2;
+  g.max_ranks_per_node = 24;
+  g.single_node = false;
+  const LinkParams l = group_link(m, g);
+  const double frac = 23.0 / 47.0;  // (r-1)/(p-1)
+  const double beta_intra = 1.0 / m.intra_rank_bandwidth();
+  const double beta_inter = 1.0 / m.inter_rank_bandwidth();
+  EXPECT_NEAR(l.beta, frac * beta_intra + (1 - frac) * beta_inter, 1e-18);
+  EXPECT_NEAR(l.alpha, frac * m.alpha_intra + (1 - frac) * m.alpha_inter,
+              1e-12);
+}
+
+TEST(CollCost, P2pIntraVsInter) {
+  Machine m = Machine::phoenix_mpi();
+  EXPECT_LT(t_p2p(m, 1e6, true), t_p2p(m, 1e6, false));
+  EXPECT_DOUBLE_EQ(t_p2p(m, 0, false), m.alpha_inter);
+}
+
+TEST(CollCost, ReduceScatterPenaltyThreshold) {
+  Machine m = Machine::phoenix_gpu();
+  const LinkParams l{kA, kB};
+  const int p = 8;
+  const double just_below = m.rs_penalty_threshold_bytes * p * 0.99;
+  const double just_above = m.rs_penalty_threshold_bytes * p * 1.01;
+  EXPECT_DOUBLE_EQ(t_reduce_scatter_machine(m, l, just_below, p),
+                   t_reduce_scatter(l, just_below, p));
+  EXPECT_GT(t_reduce_scatter_machine(m, l, just_above, p),
+            t_reduce_scatter(l, just_above, p) * 1.5);
+}
+
+TEST(CollCost, HybridSingleRankNicFraction) {
+  Machine hyb = Machine::phoenix_hybrid();
+  // One rank per node: NIC share limited to single_rank_nic_fraction.
+  EXPECT_NEAR(hyb.inter_rank_bandwidth(),
+              hyb.nic_bandwidth * hyb.single_rank_nic_fraction, 1e-3);
+  // 24-thread GEMM rate with the OpenMP efficiency factor.
+  EXPECT_NEAR(hyb.rank_flops(),
+              hyb.flops_per_core * 24 * hyb.omp_gemm_efficiency, 1.0);
+}
+
+TEST(CollCost, GpuMachineGemmTime) {
+  Machine gpu = Machine::phoenix_gpu();
+  const double flops = 1e12, bytes = 1e9;
+  EXPECT_NEAR(gpu.gemm_time(flops, bytes),
+              gpu.gpu_gemm_overhead + flops / gpu.gpu_flops +
+                  bytes / gpu.pcie_bandwidth,
+              1e-12);
+  // CTF's contraction derate is configured and sits well below 1.
+  EXPECT_LT(gpu.ctf_gemm_fraction(), 0.5);
+  Machine cpu = Machine::phoenix_mpi();
+  EXPECT_GT(cpu.ctf_gemm_fraction(), gpu.ctf_gemm_fraction());
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi

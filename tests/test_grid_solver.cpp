@@ -1,0 +1,291 @@
+// Process-grid solver: paper constraints, optimality against brute force,
+// and the grids the paper reports for its worked examples.
+//
+// Note: for several Table II configurations the grid reported by the
+// authors' implementation is NOT optimal under the paper's own stated
+// objective (eq. 4) — e.g. 2x2x512 for the large-K problem at 2048 cores is
+// dominated by 2x2x487 under (4)+(5). For those cases we assert that our
+// solver's objective value is at least as good as the paper-reported grid's;
+// exact grid equality is asserted only where the paper grid is genuinely
+// optimal (the §III-B examples and several Table III rows).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/grid_solver.hpp"
+
+namespace ca3dmm {
+namespace {
+
+void check_constraints(const ProcGrid& g, int P, i64 m, i64 n, i64 k,
+                       double l, bool cannon_compatible) {
+  // Utilization bound (5), capped by the dimension clamps.
+  const i64 max_possible = std::min<i64>(
+      P, std::min<i64>(m, P) * std::min<i64>(n, P) * std::min<i64>(k, P));
+  const int min_active =
+      static_cast<int>(std::min<i64>(static_cast<i64>(l * P), max_possible));
+  EXPECT_GE(g.active(), min_active - 1);
+  EXPECT_LE(g.active(), P);
+  EXPECT_LE(g.pm, std::max<i64>(m, 1));
+  EXPECT_LE(g.pn, std::max<i64>(n, 1));
+  EXPECT_LE(g.pk, std::max<i64>(k, 1));
+  if (cannon_compatible) {
+    const int lo = g.s(), hi = std::max(g.pm, g.pn);
+    EXPECT_EQ(hi % lo, 0) << "grid " << g.pm << "x" << g.pn << "x" << g.pk;
+  }
+}
+
+TEST(GridSolver, PaperExample1) {
+  // m=32, k=16, n=64, P=8 -> pm=2, pk=1, pn=4 (paper §III-B Example 1).
+  const ProcGrid g = find_grid(32, 64, 16, 8);
+  EXPECT_EQ(g.pm, 2);
+  EXPECT_EQ(g.pk, 1);
+  EXPECT_EQ(g.pn, 4);
+  EXPECT_EQ(g.c(), 2);
+  EXPECT_EQ(g.s(), 2);
+  EXPECT_TRUE(g.replicates_a());
+}
+
+TEST(GridSolver, PaperExample2) {
+  // m=n=32, k=64, P=16 -> pm=pn=2, pk=4 (paper Example 2).
+  const ProcGrid g = find_grid(32, 32, 64, 16);
+  EXPECT_EQ(g.pm, 2);
+  EXPECT_EQ(g.pn, 2);
+  EXPECT_EQ(g.pk, 4);
+  EXPECT_EQ(g.c(), 1);
+}
+
+TEST(GridSolver, PaperExample3PrimeProcessCount) {
+  // m=n=32, k=64, P=17 -> same grid as P=16; one idle process.
+  const ProcGrid g = find_grid(32, 32, 64, 17);
+  EXPECT_EQ(g.pm, 2);
+  EXPECT_EQ(g.pn, 2);
+  EXPECT_EQ(g.pk, 4);
+  EXPECT_EQ(g.active(), 16);
+}
+
+TEST(GridSolver, AtLeastAsGoodAsPaperReportedGrids) {
+  // Our solver's objective value must never exceed the value of the grid the
+  // paper's implementation reports for the same configuration (Tables II/III).
+  struct Case {
+    i64 m, n, k;
+    int P;
+    ProcGrid paper;  // {pm, pn, pk}
+  };
+  const Case cases[] = {
+      {50000, 50000, 50000, 2048, {8, 16, 16}},
+      {50000, 50000, 50000, 3072, {16, 16, 12}},
+      {6000, 6000, 1200000, 2048, {2, 2, 512}},
+      {6000, 6000, 1200000, 3072, {3, 3, 341}},
+      {1200000, 6000, 6000, 2048, {512, 2, 2}},
+      {100000, 100000, 5000, 2048, {32, 32, 2}},
+      {100000, 100000, 5000, 3072, {32, 32, 3}},
+      {50000, 50000, 50000, 16, {2, 2, 4}},
+      {10000, 10000, 300000, 16, {1, 1, 16}},
+      {300000, 10000, 10000, 32, {32, 1, 1}},
+      {50000, 50000, 10000, 32, {8, 4, 1}},
+  };
+  for (const Case& cs : cases) {
+    const ProcGrid g = find_grid(cs.m, cs.n, cs.k, cs.P);
+    EXPECT_LE(grid_objective(cs.m, cs.n, cs.k, g),
+              grid_objective(cs.m, cs.n, cs.k, cs.paper) * (1 + 1e-12))
+        << "P=" << cs.P << " got " << g.pm << "x" << g.pn << "x" << g.pk;
+    check_constraints(g, cs.P, cs.m, cs.n, cs.k, 0.95, true);
+  }
+}
+
+TEST(GridSolver, SomePaperGridsAreExactlyReproduced) {
+  // Rows of Tables II/III where the paper's grid is the optimum of the
+  // composite objective.
+  ProcGrid g = find_grid(10000, 10000, 300000, 16);  // large-K, 16 GPUs
+  EXPECT_EQ(g.pm, 1);
+  EXPECT_EQ(g.pn, 1);
+  EXPECT_EQ(g.pk, 16);
+  g = find_grid(300000, 10000, 10000, 32);  // large-M, 32 GPUs
+  EXPECT_EQ(g.pm, 32);
+  EXPECT_EQ(g.pn, 1);
+  EXPECT_EQ(g.pk, 1);
+  g = find_grid(6000, 6000, 1200000, 2048);  // large-K, Table II
+  EXPECT_EQ(g.pm, 2);
+  EXPECT_EQ(g.pn, 2);
+  EXPECT_EQ(g.pk, 512);
+  g = find_grid(6000, 6000, 1200000, 3072);  // 99.9% utilization case
+  EXPECT_EQ(g.pm, 3);
+  EXPECT_EQ(g.pn, 3);
+  EXPECT_EQ(g.pk, 341);
+  g = find_grid(100000, 100000, 5000, 3072);  // flat, Table II
+  EXPECT_EQ(g.pm, 32);
+  EXPECT_EQ(g.pn, 32);
+  EXPECT_EQ(g.pk, 3);
+}
+
+TEST(GridSolver, ConstraintsHoldAcrossSweep) {
+  for (int P : {1, 2, 3, 5, 7, 12, 17, 24, 48, 96, 97, 192}) {
+    for (auto [m, n, k] : {std::tuple<i64, i64, i64>{512, 512, 512},
+                           {64, 64, 8192},
+                           {8192, 64, 64},
+                           {4096, 4096, 128},
+                           {1, 1000, 1000},
+                           {1000, 1, 1},
+                           {1, 1, 1}}) {
+      const ProcGrid g = find_grid(m, n, k, P);
+      check_constraints(g, P, m, n, k, 0.95, true);
+      if (m == 1) {
+        EXPECT_EQ(g.pm, 1);
+      }
+      if (n == 1) {
+        EXPECT_EQ(g.pn, 1);
+      }
+      if (k == 1) {
+        EXPECT_EQ(g.pk, 1);
+      }
+    }
+  }
+}
+
+TEST(GridSolver, DegenerateShapesMatchOptimal1DAlgorithms) {
+  // Rank-1 update (k=1): no k parallelism.
+  EXPECT_EQ(find_grid(1024, 1024, 1, 16).pk, 1);
+  // Matrix-vector product (n=1): pure m partitioning (paper §III-B).
+  const ProcGrid mv = find_grid(8192, 1, 8192, 16);
+  EXPECT_EQ(mv.pn, 1);
+  // Inner product (m=n=1): pure k partitioning.
+  const ProcGrid ip = find_grid(1, 1, 100000, 16);
+  EXPECT_EQ(ip.pm, 1);
+  EXPECT_EQ(ip.pn, 1);
+  EXPECT_EQ(ip.pk, 16);
+  // Tiny problem: never more grid slots than elements.
+  const ProcGrid tiny = find_grid(1, 1, 1, 17);
+  EXPECT_EQ(tiny.active(), 1);
+}
+
+TEST(GridSolver, BruteForceAgreement) {
+  // Exhaustive cross-check of the enumeration on small P.
+  for (int P : {4, 6, 9, 12, 17}) {
+    const i64 m = 48, n = 24, k = 96;
+    const ProcGrid g = find_grid(m, n, k, P);
+    double best = 1e300;
+    for (int pm = 1; pm <= P && pm <= m; ++pm)
+      for (int pn = 1; pn * pm <= P && pn <= n; ++pn)
+        for (int pk = 1; pk * pn * pm <= P && pk <= k; ++pk) {
+          ProcGrid x{pm, pn, pk};
+          if (x.active() < static_cast<int>(0.95 * P)) continue;
+          if (std::max(pm, pn) % std::min(pm, pn) != 0) continue;
+          best = std::min(best, grid_objective(m, n, k, x));
+        }
+    EXPECT_DOUBLE_EQ(grid_objective(m, n, k, g), best) << "P=" << P;
+  }
+}
+
+TEST(GridSolver, LooserUtilizationNeverHurtsObjective) {
+  double prev = 1e300;
+  for (double l : {0.99, 0.95, 0.90, 0.85}) {
+    GridOptions o;
+    o.l = l;
+    const ProcGrid g = find_grid(50000, 50000, 50000, 192, o);
+    const double s = grid_objective(50000, 50000, 50000, g);
+    EXPECT_LE(s, prev * (1 + 1e-12));  // smaller l = larger feasible set
+    prev = s;
+    check_constraints(g, 192, 50000, 50000, 50000, l, true);
+  }
+}
+
+TEST(GridSolver, PaperLParameterStudy) {
+  // §IV-A: "using other l values gives the same 3D process grid as using
+  // l = 0.95 in almost all cases". Check it for the paper's problem classes.
+  int same = 0, total = 0;
+  for (auto [m, n, k] : {std::tuple<i64, i64, i64>{50000, 50000, 50000},
+                         {6000, 6000, 1200000},
+                         {1200000, 6000, 6000},
+                         {100000, 100000, 5000}}) {
+    for (int P : {192, 384, 768, 1536, 3072}) {
+      GridOptions base;
+      const ProcGrid g95 = find_grid(m, n, k, P, base);
+      for (double l : {0.85, 0.90, 0.99}) {
+        GridOptions o;
+        o.l = l;
+        total++;
+        if (find_grid(m, n, k, P, o) == g95) same++;
+      }
+    }
+  }
+  EXPECT_GE(same, total * 9 / 10) << same << "/" << total;
+}
+
+TEST(GridSolver, CosmaVariantIgnoresCannonConstraint) {
+  const ProcGrid g = find_grid_cosma(1000, 1000, 1000, 36);
+  EXPECT_GE(g.active(), 34);
+  const ProcGrid gc = find_grid(1000, 1000, 1000, 36);
+  EXPECT_LE(grid_objective(1000, 1000, 1000, g),
+            grid_objective(1000, 1000, 1000, gc) * (1 + 1e-12));
+}
+
+TEST(GridSolver, CtfVariantPicksFoldedGrids) {
+  const ProcGrid g = find_grid_ctf(10000, 10000, 300000, 16);
+  EXPECT_GE(g.active(), 8);
+  EXPECT_LE(g.active(), 16);
+  // CTF ignores the matrix shape: same grid for the transposed problem.
+  const ProcGrid g2 = find_grid_ctf(300000, 10000, 10000, 16);
+  EXPECT_EQ(g.pm, g2.pm);
+  EXPECT_EQ(g.pn, g2.pn);
+  EXPECT_EQ(g.pk, g2.pk);
+}
+
+TEST(GridSolver, SurfaceFormulaSanity) {
+  // Perfect cube on 8 processes: the total surface is
+  // 6 (mnk)^(2/3) P^(1/3) (paper eq. 3).
+  const ProcGrid g{2, 2, 2};
+  const double s = grid_surface(64, 64, 64, g);
+  EXPECT_NEAR(s, 6.0 * std::pow(64.0 * 64 * 64, 2.0 / 3.0) * 2.0, 1e-9);
+}
+
+TEST(GridSolver, ForceGridRejectionPaths) {
+  EXPECT_THROW(find_grid(0, 1, 1, 4), Error);
+  EXPECT_THROW(find_grid(1, 1, 1, 0), Error);
+}
+
+TEST(GridSolver, MemoryBudgetPushesTowards2D) {
+  // §V first open problem: shrinking the memory budget must reduce the
+  // eq.-(11) working set, moving the grid toward 2-D (smaller pk / c) at the
+  // cost of a worse communication objective.
+  const i64 m = 50000, n = 50000, k = 50000;
+  const int P = 1536;
+  GridOptions unlimited;
+  const ProcGrid g0 = find_grid(m, n, k, P, unlimited);
+  const double mem0 = grid_memory_elems(m, n, k, g0);
+
+  GridOptions tight;
+  tight.max_memory_elems = static_cast<i64>(mem0 * 0.6);
+  const ProcGrid g1 = find_grid(m, n, k, P, tight);
+  EXPECT_LE(grid_memory_elems(m, n, k, g1),
+            static_cast<double>(tight.max_memory_elems) * (1 + 1e-12));
+  EXPECT_GE(grid_objective(m, n, k, g1), grid_objective(m, n, k, g0));
+
+  // Very tight budget: essentially a 2-D algorithm (pk collapses).
+  GridOptions very_tight;
+  very_tight.max_memory_elems =
+      static_cast<i64>(grid_memory_elems(m, n, k, ProcGrid{48, 32, 1}) * 1.05);
+  const ProcGrid g2 = find_grid(m, n, k, P, very_tight);
+  EXPECT_LE(g2.pk, 2);
+}
+
+TEST(GridSolver, MemoryBudgetInfeasibleFallsBackGracefully) {
+  // An unsatisfiable budget relaxes utilization rather than crashing: the
+  // pre-pass lowers min_active to whatever remains feasible.
+  GridOptions impossible;
+  impossible.max_memory_elems = 1;
+  EXPECT_THROW(find_grid(1000, 1000, 1000, 8, impossible), Error);
+}
+
+TEST(GridSolver, MemoryFormulaMatchesEq11Cases) {
+  // Cube on a cubic grid: S = 4 m^2/P + m^2/P^(2/3) (paper §III-D).
+  const ProcGrid g{4, 4, 4};
+  const double m = 1024;
+  EXPECT_NEAR(grid_memory_elems(1024, 1024, 1024, g),
+              4.0 * m * m / 64.0 + m * m / 16.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ca3dmm

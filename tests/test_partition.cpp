@@ -1,0 +1,79 @@
+// Unit tests for the canonical block-partition math that every distributed
+// object in the library builds on.
+#include <gtest/gtest.h>
+
+#include "common/partition.hpp"
+
+namespace ca3dmm {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  EXPECT_EQ(block_size(12, 4, 0), 3);
+  EXPECT_EQ(block_size(12, 4, 3), 3);
+  EXPECT_EQ(block_start(12, 4, 0), 0);
+  EXPECT_EQ(block_start(12, 4, 2), 6);
+  EXPECT_EQ(block_start(12, 4, 4), 12);  // one-past-the-end sentinel
+}
+
+TEST(Partition, UnevenSplitFirstBlocksLarger) {
+  // n=10, p=4: sizes 3,3,2,2
+  EXPECT_EQ(block_size(10, 4, 0), 3);
+  EXPECT_EQ(block_size(10, 4, 1), 3);
+  EXPECT_EQ(block_size(10, 4, 2), 2);
+  EXPECT_EQ(block_size(10, 4, 3), 2);
+  EXPECT_EQ(block_start(10, 4, 2), 6);
+}
+
+TEST(Partition, MoreBlocksThanElements) {
+  // n=3, p=5: sizes 1,1,1,0,0
+  EXPECT_EQ(block_size(3, 5, 0), 1);
+  EXPECT_EQ(block_size(3, 5, 2), 1);
+  EXPECT_EQ(block_size(3, 5, 3), 0);
+  EXPECT_EQ(block_size(3, 5, 4), 0);
+}
+
+TEST(Partition, RangesCoverExactly) {
+  for (i64 n : {1, 2, 7, 16, 100, 101}) {
+    for (i64 p : {1, 2, 3, 4, 7, 16, 33}) {
+      auto ranges = partition(n, p);
+      ASSERT_EQ(ranges.size(), static_cast<size_t>(p));
+      i64 pos = 0;
+      for (i64 b = 0; b < p; ++b) {
+        EXPECT_EQ(ranges[static_cast<size_t>(b)].lo, pos);
+        pos = ranges[static_cast<size_t>(b)].hi;
+        // Canonical size is either floor(n/p) or ceil(n/p).
+        const i64 sz = ranges[static_cast<size_t>(b)].size();
+        EXPECT_TRUE(sz == n / p || sz == (n + p - 1) / p)
+            << "n=" << n << " p=" << p << " b=" << b;
+      }
+      EXPECT_EQ(pos, n);
+    }
+  }
+}
+
+TEST(Partition, BlockOfIndexInverse) {
+  for (i64 n : {1, 5, 12, 97}) {
+    for (i64 p : {1, 2, 5, 12, 30}) {
+      for (i64 i = 0; i < n; ++i) {
+        const i64 b = block_of_index(n, p, i);
+        EXPECT_TRUE(block_range(n, p, b).contains(i))
+            << "n=" << n << " p=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Partition, Intersect) {
+  EXPECT_EQ(intersect({0, 5}, {3, 9}), (Range{3, 5}));
+  EXPECT_TRUE(intersect({0, 3}, {5, 9}).empty());
+  EXPECT_EQ(intersect({2, 8}, {2, 8}), (Range{2, 8}));
+}
+
+TEST(Partition, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+}  // namespace
+}  // namespace ca3dmm

@@ -1,0 +1,135 @@
+// Native-distribution invariants and the paper's Fig. 2 partitioning
+// examples: every native layout covers its matrix exactly once over all P
+// ranks; Example 2's final C distribution matches the paper's prose.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+
+namespace ca3dmm {
+namespace {
+
+void check_plan_layouts(i64 m, i64 n, i64 k, int P,
+                        const Ca3dmmOptions& opt = {}) {
+  const Ca3dmmPlan p = Ca3dmmPlan::make(m, n, k, P, opt);
+  const BlockLayout a = p.a_native(), b = p.b_native(), c = p.c_native();
+  EXPECT_TRUE(a.covers_exactly())
+      << "A native, grid " << p.grid().pm << "x" << p.grid().pn << "x"
+      << p.grid().pk;
+  EXPECT_TRUE(b.covers_exactly());
+  EXPECT_TRUE(c.covers_exactly());
+  EXPECT_EQ(a.nranks(), P);
+  // Idle ranks own nothing.
+  for (int r = p.active(); r < P; ++r) {
+    EXPECT_TRUE(a.rects_of(r).empty());
+    EXPECT_TRUE(b.rects_of(r).empty());
+    EXPECT_TRUE(c.rects_of(r).empty());
+  }
+}
+
+TEST(Partitioning, NativeLayoutsCoverExactly) {
+  check_plan_layouts(32, 64, 16, 8);    // Example 1
+  check_plan_layouts(32, 32, 64, 16);   // Example 2
+  check_plan_layouts(32, 32, 64, 17);   // Example 3 (idle rank)
+  check_plan_layouts(37, 29, 53, 12);   // uneven blocks
+  check_plan_layouts(40, 40, 40, 7);    // prime P
+  check_plan_layouts(64, 8, 32, 16, {});  // high replication
+  check_plan_layouts(24, 24, 1, 6);     // rank-1 update
+  check_plan_layouts(1, 1, 500, 8);     // inner product
+  check_plan_layouts(3, 3, 3, 24);      // more ranks than work
+}
+
+TEST(Partitioning, ForcedGridsCoverExactly) {
+  for (ProcGrid g : {ProcGrid{8, 2, 1}, ProcGrid{2, 8, 1}, ProcGrid{4, 2, 2},
+                     ProcGrid{2, 4, 2}, ProcGrid{1, 4, 4}, ProcGrid{4, 1, 4}}) {
+    Ca3dmmOptions opt;
+    opt.force_grid = g;
+    check_plan_layouts(40, 36, 44, g.active(), opt);
+  }
+}
+
+TEST(Partitioning, Example2KTaskGroups) {
+  // m=n=32, k=64, P=16, grid 2x2x4: "Processes P1..P4 form the first k-task
+  // group and compute A(:,1:16) x B(1:16,:)" (paper Example 2).
+  const Ca3dmmPlan p = Ca3dmmPlan::make(32, 32, 64, 16);
+  ASSERT_EQ(p.grid(), (ProcGrid{2, 2, 4}));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.coord(r).gk, 0);
+    EXPECT_EQ(p.k_range(p.coord(r).gk), (Range{0, 16}));
+  }
+  for (int r = 4; r < 8; ++r) EXPECT_EQ(p.coord(r).gk, 1);
+  EXPECT_EQ(p.k_range(1), (Range{16, 32}));
+}
+
+TEST(Partitioning, Example2FinalCDistribution) {
+  // "P1, P5, P9, P13 have partial results of C(1:16,1:16). After
+  // reduce-scatter, P1 has the final C(1:16,1:4), P5 has C(1:16,5:8), P9 has
+  // C(1:16,9:12), P13 has C(1:16,13:16)." (0-based here.)
+  const Ca3dmmPlan p = Ca3dmmPlan::make(32, 32, 64, 16);
+  const BlockLayout c = p.c_native();
+  // Ranks 0, 4, 8, 12 share C block (rows 0..16, cols 0..16).
+  for (int g = 0; g < 4; ++g) {
+    const int r = 4 * g;
+    const RankCoord co = p.coord(r);
+    EXPECT_EQ(co.I, 0);
+    EXPECT_EQ(co.J, 0);
+    EXPECT_EQ(co.gk, g);
+    ASSERT_EQ(c.rects_of(r).size(), 1u);
+    EXPECT_EQ(c.rects_of(r)[0], (Rect{{0, 16}, {4 * g, 4 * g + 4}}));
+  }
+}
+
+TEST(Partitioning, Example3IdleRankOnlyRedistributes) {
+  const Ca3dmmPlan p = Ca3dmmPlan::make(32, 32, 64, 17);
+  EXPECT_EQ(p.active(), 16);
+  EXPECT_FALSE(p.coord(16).active);
+  EXPECT_TRUE(p.a_native().rects_of(16).empty());
+}
+
+TEST(Partitioning, Example1ReplicationStructure) {
+  // Example 1: grid pm=2, pk=1, pn=4 -> c=2 Cannon groups, A replicated.
+  const Ca3dmmPlan p = Ca3dmmPlan::make(32, 64, 16, 8);
+  ASSERT_EQ(p.grid(), (ProcGrid{2, 4, 1}));
+  EXPECT_TRUE(p.replicates_a());
+  EXPECT_EQ(p.c(), 2);
+  EXPECT_EQ(p.s(), 2);
+  // Ranks 0 and 4 are the (i=0, j=0) processes of the two Cannon groups:
+  // they need the same Cannon A block and share its two k-slices initially.
+  const RankCoord c0 = p.coord(0), c4 = p.coord(4);
+  EXPECT_EQ(c0.i, c4.i);
+  EXPECT_EQ(c0.j, c4.j);
+  EXPECT_EQ(c0.gc, 0);
+  EXPECT_EQ(c4.gc, 1);
+  const BlockLayout a = p.a_native();
+  ASSERT_EQ(a.rects_of(0).size(), 1u);
+  ASSERT_EQ(a.rects_of(4).size(), 1u);
+  const Rect r0 = a.rects_of(0)[0], r4 = a.rects_of(4)[0];
+  EXPECT_EQ(r0.r, r4.r);            // same m rows
+  EXPECT_EQ(r0.c.hi, r4.c.lo);      // adjacent k slices of one Cannon block
+  EXPECT_EQ(r0.c.size() + r4.c.size(), p.kpart(0, 0).size());
+  // They cover different C columns (different n blocks).
+  EXPECT_NE(c0.J, c4.J);
+}
+
+TEST(Partitioning, CoordRoundTrip) {
+  const Ca3dmmPlan p = Ca3dmmPlan::make(48, 24, 96, 24);
+  for (int r = 0; r < p.active(); ++r) {
+    const RankCoord co = p.coord(r);
+    EXPECT_EQ(p.rank_of(co.gk, co.gc, co.i, co.j), r);
+  }
+}
+
+TEST(Partitioning, CommVolumeAgainstLowerBound) {
+  // For a cubic problem on a perfect-cube process count the plan volume hits
+  // the paper's lower bound (eq. 3/9) exactly.
+  const Ca3dmmPlan p = Ca3dmmPlan::make(64, 64, 64, 8);
+  ASSERT_EQ(p.grid(), (ProcGrid{2, 2, 2}));
+  // Per-rank volume Q = 3 (mnk/P)^(2/3) (eq. 9) = the lower bound here.
+  EXPECT_NEAR(p.comm_volume_per_rank(), p.volume_lower_bound(),
+              p.volume_lower_bound() * 1e-9);
+  // Non-cubic plans stay above the bound.
+  const Ca3dmmPlan q = Ca3dmmPlan::make(64, 64, 4096, 8);
+  EXPECT_GE(q.comm_volume_per_rank(), q.volume_lower_bound() * (1 - 1e-9));
+}
+
+}  // namespace
+}  // namespace ca3dmm

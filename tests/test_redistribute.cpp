@@ -1,0 +1,183 @@
+// Redistribution engine: conversion between arbitrary layout pairs,
+// transpose-on-the-fly, idle ranks, and volume accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "layout/redistribute.hpp"
+#include "linalg/matrix.hpp"
+#include "simmpi/cluster.hpp"
+
+namespace ca3dmm {
+namespace {
+
+using simmpi::Cluster;
+using simmpi::Comm;
+using simmpi::Machine;
+
+/// Fills this rank's local buffer under `layout` from the virtual global
+/// random matrix `seed` (in source orientation).
+void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
+                std::vector<double>& buf) {
+  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j)
+        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+}
+
+/// Checks this rank's local buffer under `layout` against the global matrix,
+/// optionally with transposed coordinates (local (i,j) == global (j,i)).
+void check_local(const BlockLayout& layout, int rank, std::uint64_t seed,
+                 const std::vector<double>& buf, bool transposed) {
+  ASSERT_EQ(buf.size(), static_cast<size_t>(layout.local_size(rank)));
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j) {
+        const double expect = transposed ? matrix_entry<double>(seed, j, i)
+                                         : matrix_entry<double>(seed, i, j);
+        ASSERT_DOUBLE_EQ(buf[static_cast<size_t>(pos++)], expect)
+            << "rank " << rank << " (" << i << "," << j << ")";
+      }
+}
+
+void roundtrip(const BlockLayout& src, const BlockLayout& dst, int P,
+               bool transpose = false) {
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    std::vector<double> in, out(static_cast<size_t>(dst.local_size(c.rank())));
+    fill_local(src, c.rank(), 42, in);
+    redistribute<double>(c, src, in.data(), dst, out.data(), transpose);
+    check_local(dst, c.rank(), 42, out, transpose);
+  });
+}
+
+TEST(Redistribute, Row1DToCol1D) {
+  roundtrip(BlockLayout::row_1d(13, 9, 4), BlockLayout::col_1d(13, 9, 4), 4);
+}
+
+TEST(Redistribute, Col1DToGrid2D) {
+  roundtrip(BlockLayout::col_1d(12, 10, 6), BlockLayout::grid_2d(12, 10, 2, 3),
+            6);
+}
+
+TEST(Redistribute, Grid2DToGrid2DDifferentShape) {
+  roundtrip(BlockLayout::grid_2d(16, 16, 4, 2),
+            BlockLayout::grid_2d(16, 16, 2, 4), 8);
+}
+
+TEST(Redistribute, GatherToSingleRank) {
+  roundtrip(BlockLayout::grid_2d(7, 11, 3, 2), BlockLayout::single(7, 11, 5, 6),
+            6);
+}
+
+TEST(Redistribute, ScatterFromSingleRank) {
+  roundtrip(BlockLayout::single(9, 9, 0, 5), BlockLayout::row_1d(9, 9, 5), 5);
+}
+
+TEST(Redistribute, IdentityLayout) {
+  roundtrip(BlockLayout::row_1d(8, 8, 4), BlockLayout::row_1d(8, 8, 4), 4);
+}
+
+TEST(Redistribute, TransposeRow1DToRow1D) {
+  // A (5 x 8) row-partitioned -> A^T (8 x 5) row-partitioned.
+  roundtrip(BlockLayout::row_1d(5, 8, 4), BlockLayout::row_1d(8, 5, 4), 4,
+            /*transpose=*/true);
+}
+
+TEST(Redistribute, TransposeGrid2D) {
+  roundtrip(BlockLayout::grid_2d(6, 10, 2, 2),
+            BlockLayout::grid_2d(10, 6, 2, 2), 4, /*transpose=*/true);
+}
+
+TEST(Redistribute, IdleRanksParticipate) {
+  // Layouts span 6 ranks but ranks 4, 5 own nothing in either layout.
+  auto src = BlockLayout::row_1d(8, 8, 6);  // blocks sized 2,2,1,1,1,1
+  BlockLayout dst(8, 8, 6);
+  dst.add_rect(0, {{0, 8}, {0, 4}});
+  dst.add_rect(1, {{0, 8}, {4, 8}});
+  ASSERT_TRUE(dst.covers_exactly());
+  roundtrip(src, dst, 6);
+}
+
+TEST(Redistribute, MultiRectDestination) {
+  BlockLayout dst(6, 6, 3);
+  dst.add_rect(0, {{0, 3}, {0, 3}});
+  dst.add_rect(0, {{3, 6}, {3, 6}});
+  dst.add_rect(1, {{0, 3}, {3, 6}});
+  dst.add_rect(2, {{3, 6}, {0, 3}});
+  ASSERT_TRUE(dst.covers_exactly());
+  roundtrip(BlockLayout::col_1d(6, 6, 3), dst, 3);
+}
+
+TEST(Redistribute, RandomizedLayoutPairsProperty) {
+  // Property sweep: random grid shapes on both sides must round-trip.
+  Rng rng(7);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int P = static_cast<int>(rng.uniform(2, 8));
+    const i64 m = rng.uniform(1, 20), n = rng.uniform(1, 20);
+    auto pick = [&](i64 rows, i64 cols) {
+      switch (rng.uniform(0, 3)) {
+        case 0: return BlockLayout::row_1d(rows, cols, P);
+        case 1: return BlockLayout::col_1d(rows, cols, P);
+        case 2: {
+          // Random divisor of P so the grid spans exactly P ranks.
+          std::vector<int> divs;
+          for (int d = 1; d <= P; ++d)
+            if (P % d == 0) divs.push_back(d);
+          const int pr = divs[static_cast<size_t>(
+              rng.uniform(0, static_cast<i64>(divs.size()) - 1))];
+          return BlockLayout::grid_2d(rows, cols, pr, P / pr,
+                                      rng.uniform(0, 1) == 1);
+        }
+        default:
+          return BlockLayout::single(rows, cols,
+                                     static_cast<int>(rng.uniform(0, P - 1)), P);
+      }
+    };
+    auto src = pick(m, n);
+    const bool transpose = rng.uniform(0, 1) == 1;
+    auto dst = transpose ? pick(n, m) : pick(m, n);
+    // Grid factory may span fewer ranks than P owns; ensure full coverage.
+    ASSERT_TRUE(src.covers_exactly());
+    ASSERT_TRUE(dst.covers_exactly());
+    roundtrip(src, dst, P, transpose);
+  }
+}
+
+TEST(Redistribute, BlockCyclicToNativeStyle) {
+  // ScaLAPACK block-cyclic -> contiguous 2-D grid and back (the conversion
+  // path the paper's §V discusses for real applications).
+  const auto bc = BlockLayout::block_cyclic(18, 14, 2, 2, 3, 2);
+  const auto grid = BlockLayout::grid_2d(18, 14, 2, 2);
+  roundtrip(bc, grid, 4);
+  roundtrip(grid, bc, 4);
+}
+
+TEST(Redistribute, BlockCyclicTranspose) {
+  const auto bc = BlockLayout::block_cyclic(10, 6, 2, 3, 2, 2);
+  const auto dst = BlockLayout::block_cyclic(6, 10, 3, 2, 2, 2);
+  roundtrip(bc, dst, 6, /*transpose=*/true);
+}
+
+TEST(Redistribute, VolumeExcludesSelfTraffic) {
+  auto l = BlockLayout::row_1d(8, 8, 4);
+  auto v = redistribution_volume(l, l, false, 8);
+  EXPECT_EQ(v.max_send_bytes, 0);
+  EXPECT_EQ(v.max_recv_bytes, 0);
+}
+
+TEST(Redistribute, VolumeRowToCol) {
+  // 4x4 over 2 ranks: row blocks 2x4 -> col blocks 4x2. Each rank keeps a
+  // 2x2 quadrant and ships a 2x2 quadrant: 4 elements * 8 bytes.
+  auto v = redistribution_volume(BlockLayout::row_1d(4, 4, 2),
+                                 BlockLayout::col_1d(4, 4, 2), false, 8);
+  EXPECT_EQ(v.max_send_bytes, 32);
+  EXPECT_EQ(v.max_recv_bytes, 32);
+}
+
+}  // namespace
+}  // namespace ca3dmm

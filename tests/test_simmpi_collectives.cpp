@@ -1,0 +1,215 @@
+// Collective operations of the simulated runtime against serial oracles:
+// data results for every collective, uneven counts, splits, and nesting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+TEST(Collectives, Bcast) {
+  Cluster cl(7, Machine::unit_test());
+  cl.run([](Comm& c) {
+    std::vector<double> buf(5, 0.0);
+    if (c.rank() == 3)
+      for (int i = 0; i < 5; ++i) buf[static_cast<size_t>(i)] = 10.0 + i;
+    c.bcast(buf.data(), 5, 3);
+    for (int i = 0; i < 5; ++i)
+      EXPECT_DOUBLE_EQ(buf[static_cast<size_t>(i)], 10.0 + i);
+  });
+}
+
+TEST(Collectives, Allgather) {
+  const int P = 6;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    const double mine[2] = {static_cast<double>(c.rank()),
+                            static_cast<double>(c.rank() * 10)};
+    std::vector<double> all(static_cast<size_t>(2 * P));
+    c.allgather(mine, 2, all.data());
+    for (int r = 0; r < P; ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<size_t>(2 * r)], r);
+      EXPECT_DOUBLE_EQ(all[static_cast<size_t>(2 * r + 1)], r * 10);
+    }
+  });
+}
+
+TEST(Collectives, AllgathervUnevenCounts) {
+  const int P = 5;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    // Rank r contributes r+1 doubles valued 100*r + i.
+    const int me = c.rank();
+    std::vector<double> mine(static_cast<size_t>(me + 1));
+    for (int i = 0; i <= me; ++i)
+      mine[static_cast<size_t>(i)] = 100.0 * me + i;
+    std::vector<i64> counts;
+    i64 total = 0;
+    for (int r = 0; r < P; ++r) {
+      counts.push_back(static_cast<i64>((r + 1) * sizeof(double)));
+      total += r + 1;
+    }
+    std::vector<double> all(static_cast<size_t>(total));
+    c.allgatherv_bytes(mine.data(),
+                       static_cast<i64>((me + 1) * sizeof(double)), all.data(),
+                       counts);
+    i64 off = 0;
+    for (int r = 0; r < P; ++r)
+      for (int i = 0; i <= r; ++i)
+        EXPECT_DOUBLE_EQ(all[static_cast<size_t>(off++)], 100.0 * r + i);
+  });
+}
+
+TEST(Collectives, ReduceScatterSum) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    // Segment r has r+1 elements; every rank contributes value (rank+1) to
+    // every element, so each reduced element equals P(P+1)/2 = 10.
+    std::vector<i64> counts;
+    i64 total = 0;
+    for (int r = 0; r < P; ++r) {
+      counts.push_back(r + 1);
+      total += r + 1;
+    }
+    std::vector<double> sbuf(static_cast<size_t>(total),
+                             static_cast<double>(c.rank() + 1));
+    std::vector<double> rbuf(static_cast<size_t>(c.rank() + 1), -1.0);
+    c.reduce_scatter(sbuf.data(), rbuf.data(), counts);
+    for (double v : rbuf) EXPECT_DOUBLE_EQ(v, 10.0);
+  });
+}
+
+TEST(Collectives, ReduceScatterZeroCount) {
+  // A rank may receive nothing (count 0) — used by idle-ish ranks.
+  const int P = 3;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    std::vector<i64> counts{2, 0, 1};
+    std::vector<double> sbuf{1, 2, 3};
+    std::vector<double> rbuf(3, -1);
+    c.reduce_scatter(sbuf.data(), rbuf.data(), counts);
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(rbuf[0], 3.0);
+      EXPECT_DOUBLE_EQ(rbuf[1], 6.0);
+    } else if (c.rank() == 2) {
+      EXPECT_DOUBLE_EQ(rbuf[0], 9.0);
+    }
+  });
+}
+
+TEST(Collectives, AllreduceSum) {
+  const int P = 9;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    std::vector<float> s{static_cast<float>(c.rank()), 1.0f};
+    std::vector<float> r(2);
+    c.allreduce(s.data(), r.data(), 2);
+    EXPECT_FLOAT_EQ(r[0], static_cast<float>(P * (P - 1) / 2));
+    EXPECT_FLOAT_EQ(r[1], static_cast<float>(P));
+  });
+}
+
+TEST(Collectives, Alltoallv) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    // Rank r sends one double (value 100*r + d) to every rank d.
+    const int me = c.rank();
+    std::vector<double> sbuf(static_cast<size_t>(P));
+    std::vector<i64> scounts(static_cast<size_t>(P)), sdispls(static_cast<size_t>(P));
+    std::vector<i64> rcounts(static_cast<size_t>(P)), rdispls(static_cast<size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      sbuf[static_cast<size_t>(d)] = 100.0 * me + d;
+      scounts[static_cast<size_t>(d)] = sizeof(double);
+      sdispls[static_cast<size_t>(d)] = static_cast<i64>(d * sizeof(double));
+      rcounts[static_cast<size_t>(d)] = sizeof(double);
+      rdispls[static_cast<size_t>(d)] = static_cast<i64>(d * sizeof(double));
+    }
+    std::vector<double> rbuf(static_cast<size_t>(P), -1);
+    c.alltoallv_bytes(sbuf.data(), scounts, sdispls, rbuf.data(), rcounts,
+                      rdispls);
+    for (int s = 0; s < P; ++s)
+      EXPECT_DOUBLE_EQ(rbuf[static_cast<size_t>(s)], 100.0 * s + me);
+  });
+}
+
+TEST(Collectives, SplitColorsAndKeys) {
+  const int P = 8;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    // Even/odd split with reversed key ordering: the even group is ordered
+    // {6,4,2,0} and the odd group {7,5,3,1}.
+    Comm sub = c.split(c.rank() % 2, -c.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 4);
+    const int top = (c.rank() % 2 == 0) ? 6 : 7;  // world rank of sub rank 0
+    EXPECT_EQ(sub.rank(), (top - c.rank()) / 2);
+    // A collective on the sub-communicator only involves the subgroup.
+    std::vector<double> all(4);
+    const double mine = c.rank();
+    sub.allgather(&mine, 1, all.data());
+    for (int j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(all[static_cast<size_t>(j)],
+                       static_cast<double>(top - 2 * j))
+          << "j=" << j;
+  });
+}
+
+TEST(Collectives, SplitUndefinedColor) {
+  const int P = 5;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    Comm sub = c.split(c.rank() < 3 ? 0 : -1, c.rank());
+    if (c.rank() < 3) {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+      EXPECT_EQ(sub.rank(), c.rank());
+    } else {
+      EXPECT_FALSE(sub.valid());
+    }
+  });
+}
+
+TEST(Collectives, NestedSplits) {
+  // Split a 12-rank world into 2 groups of 6, then each into 3 pairs, and
+  // run an allreduce at the innermost level.
+  const int P = 12;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    Comm half = c.split(c.rank() / 6, c.rank());
+    Comm pair = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(pair.size(), 2);
+    double v = 1.0, r = 0.0;
+    pair.allreduce(&v, &r, 1);
+    EXPECT_DOUBLE_EQ(r, 2.0);
+  });
+}
+
+TEST(Collectives, ConcurrentSubgroupCollectives) {
+  // Different subgroups run independent collectives "simultaneously".
+  const int P = 9;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    Comm g = c.split(c.rank() % 3, c.rank());
+    double v = c.rank(), sum = 0;
+    g.allreduce(&v, &sum, 1);
+    double expect = 0;
+    for (int r = c.rank() % 3; r < P; r += 3) expect += r;
+    EXPECT_DOUBLE_EQ(sum, expect);
+  });
+}
+
+TEST(Collectives, BarrierCompletes) {
+  Cluster cl(16, Machine::unit_test());
+  cl.run([](Comm& c) {
+    for (int i = 0; i < 5; ++i) c.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi

@@ -1,0 +1,159 @@
+// Point-to-point semantics of the simulated message-passing runtime:
+// (src, dst, tag) matching, FIFO ordering per channel, rendezvous progress,
+// ring shifts via sendrecv, and communicator isolation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+TEST(P2P, PingPong) {
+  Cluster cl(2, Machine::unit_test());
+  cl.run([](Comm& c) {
+    double x = 0;
+    if (c.rank() == 0) {
+      x = 42.0;
+      c.send(&x, 1, 1, 0);
+      c.recv(&x, 1, 1, 1);
+      EXPECT_DOUBLE_EQ(x, 43.0);
+    } else {
+      c.recv(&x, 1, 0, 0);
+      EXPECT_DOUBLE_EQ(x, 42.0);
+      x += 1.0;
+      c.send(&x, 1, 0, 1);
+    }
+  });
+}
+
+TEST(P2P, TagMatching) {
+  // Rank 0 sends two messages with different tags; rank 1 receives them in
+  // the opposite order. Rendezvous sends deposit without blocking the match,
+  // so tag selection must pick the right record.
+  Cluster cl(2, Machine::unit_test());
+  cl.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const double a = 1.0, b = 2.0;
+      // Deposit both via sendrecv-style trick is not needed: use two sends
+      // from a helper ordering. Rank 1 first asks for tag 7.
+      c.send(&b, 1, 1, 7);
+      c.send(&a, 1, 1, 3);
+    } else {
+      double x = 0, y = 0;
+      c.recv(&x, 1, 0, 7);
+      c.recv(&y, 1, 0, 3);
+      EXPECT_DOUBLE_EQ(x, 2.0);
+      EXPECT_DOUBLE_EQ(y, 1.0);
+    }
+  });
+}
+
+TEST(P2P, FifoPerChannel) {
+  Cluster cl(2, Machine::unit_test());
+  cl.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const double v = i;
+        c.send(&v, 1, 1, 0);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        double v = -1;
+        c.recv(&v, 1, 0, 0);
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(P2P, RingShiftSendrecv) {
+  // Classic Cannon-style circular shift: every rank passes its value left.
+  const int P = 8;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    const int me = c.rank();
+    const int dst = (me + P - 1) % P;  // send left
+    const int src = (me + 1) % P;      // receive from right
+    double mine = me, got = -1;
+    c.sendrecv(&mine, 1, dst, &got, 1, src, 0);
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(src));
+  });
+}
+
+TEST(P2P, RepeatedRingShiftsFullRotation) {
+  const int P = 5;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    const int me = c.rank();
+    double v = me;
+    for (int step = 0; step < P; ++step) {
+      double got = -1;
+      c.sendrecv(&v, 1, (me + P - 1) % P, &got, 1, (me + 1) % P, 0);
+      v = got;
+    }
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(me));  // full rotation
+  });
+}
+
+TEST(P2P, CommIsolation) {
+  // Messages on a split communicator do not collide with world messages of
+  // the same (src, dst, tag).
+  Cluster cl(2, Machine::unit_test());
+  cl.run([](Comm& c) {
+    Comm sub = c.split(0, c.rank());
+    if (c.rank() == 0) {
+      const double a = 10.0, b = 20.0;
+      c.send(&a, 1, 1, 0);
+      sub.send(&b, 1, 1, 0);
+    } else {
+      double b = 0, a = 0;
+      sub.recv(&b, 1, 0, 0);
+      c.recv(&a, 1, 0, 0);
+      EXPECT_DOUBLE_EQ(a, 10.0);
+      EXPECT_DOUBLE_EQ(b, 20.0);
+    }
+  });
+}
+
+TEST(P2P, ZeroByteMessage) {
+  Cluster cl(2, Machine::unit_test());
+  cl.run([](Comm& c) {
+    if (c.rank() == 0)
+      c.send_bytes(nullptr, 0, 1, 0);
+    else
+      c.recv_bytes(nullptr, 0, 0, 0);
+  });
+}
+
+TEST(P2P, LargePayloadIntegrity) {
+  const i64 n = 100000;
+  Cluster cl(2, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    std::vector<double> buf(static_cast<size_t>(n));
+    if (c.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0.0);
+      c.send(buf.data(), n, 1, 0);
+    } else {
+      c.recv(buf.data(), n, 0, 0);
+      for (i64 i = 0; i < n; i += 9999)
+        ASSERT_DOUBLE_EQ(buf[static_cast<size_t>(i)], static_cast<double>(i));
+    }
+  });
+}
+
+TEST(P2P, RankExceptionPropagates) {
+  Cluster cl(2, Machine::unit_test());
+  EXPECT_THROW(cl.run([](Comm& c) {
+                 if (c.rank() == 1) throw Error("boom");
+                 // rank 0 finishes normally; no deadlock because it does not
+                 // wait on rank 1
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi

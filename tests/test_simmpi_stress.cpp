@@ -1,0 +1,151 @@
+// Randomized stress tests of the simulated runtime: deep split trees,
+// interleaved collectives on sibling communicators, mixed p2p/collective
+// traffic, and repeated cluster reuse. These guard the rendezvous machinery
+// against ordering bugs that simple unit tests cannot reach.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+TEST(Stress, RandomSplitTreeWithCollectives) {
+  const int P = 18;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    Comm cur = world.split(0, world.rank());
+    Rng rng(1234);  // same stream on every rank: identical split decisions
+    for (int level = 0; level < 6; ++level) {
+      const int groups = static_cast<int>(rng.uniform(1, 4));
+      const int color = cur.rank() % groups;
+      Comm next = cur.split(color, cur.rank());
+      ASSERT_TRUE(next.valid());
+      // Group-wide allreduce must equal a locally computed oracle.
+      double v = world.rank(), sum = 0;
+      next.allreduce(&v, &sum, 1);
+      double expect = 0;
+      for (int r = 0; r < cur.size(); ++r)
+        if (r % groups == color) expect += cur.world_rank_of(r);
+      ASSERT_DOUBLE_EQ(sum, expect) << "level " << level;
+      cur = next;
+      if (cur.size() == 1) break;
+    }
+  });
+}
+
+TEST(Stress, SiblingGroupsInterleaveDifferentOpCounts) {
+  // Odd ranks run more collectives than even ranks on their own comms; the
+  // runtime must keep the rendezvous of sibling groups independent.
+  const int P = 12;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    Comm g = world.split(world.rank() % 2, world.rank());
+    const int reps = (world.rank() % 2 == 0) ? 3 : 11;
+    double acc = 0;
+    for (int i = 0; i < reps; ++i) {
+      double v = 1, s = 0;
+      g.allreduce(&v, &s, 1);
+      acc += s;
+    }
+    EXPECT_DOUBLE_EQ(acc, reps * 6.0);
+  });
+}
+
+TEST(Stress, MixedP2pAndCollectives) {
+  const int P = 10;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    // Ring p2p interleaved with world barriers; deterministic payloads.
+    double acc = 0;
+    for (int round = 0; round < 8; ++round) {
+      const double v = me * 100.0 + round;
+      double got = -1;
+      world.sendrecv(&v, 1, (me + 1) % P, &got, 1, (me + P - 1) % P, round);
+      ASSERT_DOUBLE_EQ(got, ((me + P - 1) % P) * 100.0 + round);
+      if (round % 3 == 0) world.barrier();
+      acc += got;
+    }
+    (void)acc;
+  });
+}
+
+TEST(Stress, ManySmallMessagesFifo) {
+  const int P = 2;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    const int n = 500;
+    if (world.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        const double v = i;
+        world.send(&v, 1, 1, i % 7);  // several interleaved tag streams
+      }
+    } else {
+      std::vector<int> next(7, 0);
+      // Drain tag streams in an order different from the send order.
+      for (int tag = 6; tag >= 0; --tag) {
+        for (int i = tag; i < n; i += 7) {
+          double v = -1;
+          world.recv(&v, 1, 0, tag);
+          ASSERT_DOUBLE_EQ(v, static_cast<double>(i));
+        }
+      }
+    }
+  });
+}
+
+TEST(Stress, ClusterReuseAcrossRuns) {
+  Cluster cl(8, Machine::unit_test());
+  for (int run = 0; run < 5; ++run) {
+    cl.run([&](Comm& world) {
+      double v = world.rank() + run, s = 0;
+      world.allreduce(&v, &s, 1);
+      EXPECT_DOUBLE_EQ(s, 28.0 + 8.0 * run);
+    });
+    // Stats reset between runs.
+    EXPECT_GT(cl.stats(0).vtime, 0.0);
+    EXPECT_EQ(cl.stats(0).cur_bytes, 0);
+  }
+}
+
+TEST(Stress, LargeRankCount) {
+  // 64 rank threads on one host core: correctness only.
+  const int P = 64;
+  Cluster cl(P, Machine::phoenix_mpi());
+  cl.run([&](Comm& world) {
+    std::vector<double> all(static_cast<size_t>(P));
+    const double mine = world.rank() * world.rank();
+    world.allgather(&mine, 1, all.data());
+    for (int r = 0; r < P; ++r)
+      ASSERT_DOUBLE_EQ(all[static_cast<size_t>(r)],
+                       static_cast<double>(r) * r);
+    Comm g = world.split(world.rank() / 8, world.rank());
+    double v = 1, s = 0;
+    g.allreduce(&v, &s, 1);
+    ASSERT_DOUBLE_EQ(s, 8.0);
+  });
+}
+
+TEST(Stress, VirtualTimeMonotonePerRank) {
+  const int P = 6;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    double last = world.now();
+    for (int i = 0; i < 10; ++i) {
+      world.barrier();
+      EXPECT_GE(world.now(), last);
+      last = world.now();
+      world.charge_compute(1e3, 0);
+      EXPECT_GT(world.now(), last);
+      last = world.now();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi

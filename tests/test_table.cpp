@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ca3dmm {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"100", "x"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Format, Mb) {
+  EXPECT_EQ(format_mb(1024.0 * 1024.0 * 100), "100");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(2.456), "2.46");
+  EXPECT_EQ(format_seconds(12.3), "12.3");
+}
+
+}  // namespace
+}  // namespace ca3dmm
