@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_l_param.dir/bench_ablation_l_param.cpp.o"
+  "CMakeFiles/bench_ablation_l_param.dir/bench_ablation_l_param.cpp.o.d"
+  "bench_ablation_l_param"
+  "bench_ablation_l_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_l_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

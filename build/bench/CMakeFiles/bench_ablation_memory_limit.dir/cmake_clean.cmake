@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory_limit.dir/bench_ablation_memory_limit.cpp.o"
+  "CMakeFiles/bench_ablation_memory_limit.dir/bench_ablation_memory_limit.cpp.o.d"
+  "bench_ablation_memory_limit"
+  "bench_ablation_memory_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

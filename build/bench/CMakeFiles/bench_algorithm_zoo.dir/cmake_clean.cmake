@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm_zoo.dir/bench_algorithm_zoo.cpp.o"
+  "CMakeFiles/bench_algorithm_zoo.dir/bench_algorithm_zoo.cpp.o.d"
+  "bench_algorithm_zoo"
+  "bench_algorithm_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_smallscale.dir/bench_engine_smallscale.cpp.o"
+  "CMakeFiles/bench_engine_smallscale.dir/bench_engine_smallscale.cpp.o.d"
+  "bench_engine_smallscale"
+  "bench_engine_smallscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_smallscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_qr.dir/cholesky_qr.cpp.o"
+  "CMakeFiles/cholesky_qr.dir/cholesky_qr.cpp.o.d"
+  "cholesky_qr"
+  "cholesky_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/density_purification.cpp" "examples/CMakeFiles/density_purification.dir/density_purification.cpp.o" "gcc" "examples/CMakeFiles/density_purification.dir/density_purification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ca_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ca_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/ca_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

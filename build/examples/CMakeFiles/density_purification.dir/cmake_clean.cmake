@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_purification.dir/density_purification.cpp.o"
+  "CMakeFiles/density_purification.dir/density_purification.cpp.o.d"
+  "density_purification"
+  "density_purification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_purification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

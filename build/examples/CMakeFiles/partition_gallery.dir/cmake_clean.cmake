@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_gallery.dir/partition_gallery.cpp.o"
+  "CMakeFiles/partition_gallery.dir/partition_gallery.cpp.o.d"
+  "partition_gallery"
+  "partition_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;ca_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_density_purification "/root/repo/build/examples/density_purification")
+set_tests_properties(example_density_purification PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;ca_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cholesky_qr "/root/repo/build/examples/cholesky_qr")
+set_tests_properties(example_cholesky_qr PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;ca_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partition_gallery "/root/repo/build/examples/partition_gallery")
+set_tests_properties(example_partition_gallery PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;ca_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_baselines.dir/cosma_like.cpp.o"
+  "CMakeFiles/ca_baselines.dir/cosma_like.cpp.o.d"
+  "CMakeFiles/ca_baselines.dir/ctf_like.cpp.o"
+  "CMakeFiles/ca_baselines.dir/ctf_like.cpp.o.d"
+  "CMakeFiles/ca_baselines.dir/p25d.cpp.o"
+  "CMakeFiles/ca_baselines.dir/p25d.cpp.o.d"
+  "CMakeFiles/ca_baselines.dir/summa.cpp.o"
+  "CMakeFiles/ca_baselines.dir/summa.cpp.o.d"
+  "libca_baselines.a"
+  "libca_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_common.dir/partition.cpp.o"
+  "CMakeFiles/ca_common.dir/partition.cpp.o.d"
+  "CMakeFiles/ca_common.dir/table.cpp.o"
+  "CMakeFiles/ca_common.dir/table.cpp.o.d"
+  "libca_common.a"
+  "libca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ca3dmm.cpp" "src/core/CMakeFiles/ca_core.dir/ca3dmm.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/ca3dmm.cpp.o.d"
+  "/root/repo/src/core/engine2d.cpp" "src/core/CMakeFiles/ca_core.dir/engine2d.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/engine2d.cpp.o.d"
+  "/root/repo/src/core/grid_solver.cpp" "src/core/CMakeFiles/ca_core.dir/grid_solver.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/grid_solver.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/ca_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/ca_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ca_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_core.dir/ca3dmm.cpp.o"
+  "CMakeFiles/ca_core.dir/ca3dmm.cpp.o.d"
+  "CMakeFiles/ca_core.dir/engine2d.cpp.o"
+  "CMakeFiles/ca_core.dir/engine2d.cpp.o.d"
+  "CMakeFiles/ca_core.dir/grid_solver.cpp.o"
+  "CMakeFiles/ca_core.dir/grid_solver.cpp.o.d"
+  "CMakeFiles/ca_core.dir/plan.cpp.o"
+  "CMakeFiles/ca_core.dir/plan.cpp.o.d"
+  "libca_core.a"
+  "libca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

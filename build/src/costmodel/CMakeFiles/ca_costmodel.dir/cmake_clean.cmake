@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_costmodel.dir/model.cpp.o"
+  "CMakeFiles/ca_costmodel.dir/model.cpp.o.d"
+  "libca_costmodel.a"
+  "libca_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

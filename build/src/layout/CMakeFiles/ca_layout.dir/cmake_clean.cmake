@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_layout.dir/block_layout.cpp.o"
+  "CMakeFiles/ca_layout.dir/block_layout.cpp.o.d"
+  "CMakeFiles/ca_layout.dir/redistribute.cpp.o"
+  "CMakeFiles/ca_layout.dir/redistribute.cpp.o.d"
+  "libca_layout.a"
+  "libca_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

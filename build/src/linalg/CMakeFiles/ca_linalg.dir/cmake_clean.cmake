@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/ca_linalg.dir/gemm.cpp.o.d"
+  "libca_linalg.a"
+  "libca_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_simmpi.dir/cluster.cpp.o"
+  "CMakeFiles/ca_simmpi.dir/cluster.cpp.o.d"
+  "CMakeFiles/ca_simmpi.dir/coll_cost.cpp.o"
+  "CMakeFiles/ca_simmpi.dir/coll_cost.cpp.o.d"
+  "CMakeFiles/ca_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/ca_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/ca_simmpi.dir/machine.cpp.o"
+  "CMakeFiles/ca_simmpi.dir/machine.cpp.o.d"
+  "libca_simmpi.a"
+  "libca_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ca3dmm.dir/test_ca3dmm.cpp.o"
+  "CMakeFiles/test_ca3dmm.dir/test_ca3dmm.cpp.o.d"
+  "test_ca3dmm"
+  "test_ca3dmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ca3dmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ca3dmm_property.dir/test_ca3dmm_property.cpp.o"
+  "CMakeFiles/test_ca3dmm_property.dir/test_ca3dmm_property.cpp.o.d"
+  "test_ca3dmm_property"
+  "test_ca3dmm_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ca3dmm_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

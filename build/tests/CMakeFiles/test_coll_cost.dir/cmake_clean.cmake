@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_cost.dir/test_coll_cost.cpp.o"
+  "CMakeFiles/test_coll_cost.dir/test_coll_cost.cpp.o.d"
+  "test_coll_cost"
+  "test_coll_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

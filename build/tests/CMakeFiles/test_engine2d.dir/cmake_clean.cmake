@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine2d.dir/test_engine2d.cpp.o"
+  "CMakeFiles/test_engine2d.dir/test_engine2d.cpp.o.d"
+  "test_engine2d"
+  "test_engine2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

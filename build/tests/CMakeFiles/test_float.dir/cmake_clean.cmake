@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float.dir/test_float.cpp.o"
+  "CMakeFiles/test_float.dir/test_float.cpp.o.d"
+  "test_float"
+  "test_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

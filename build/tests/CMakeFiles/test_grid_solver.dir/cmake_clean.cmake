@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_solver.dir/test_grid_solver.cpp.o"
+  "CMakeFiles/test_grid_solver.dir/test_grid_solver.cpp.o.d"
+  "test_grid_solver"
+  "test_grid_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p25d.dir/test_p25d.cpp.o"
+  "CMakeFiles/test_p25d.dir/test_p25d.cpp.o.d"
+  "test_p25d"
+  "test_p25d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p25d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

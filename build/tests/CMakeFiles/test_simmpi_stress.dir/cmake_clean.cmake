@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_stress.dir/test_simmpi_stress.cpp.o"
+  "CMakeFiles/test_simmpi_stress.dir/test_simmpi_stress.cpp.o.d"
+  "test_simmpi_stress"
+  "test_simmpi_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

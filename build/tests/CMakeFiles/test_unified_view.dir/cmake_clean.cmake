@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unified_view.dir/test_unified_view.cpp.o"
+  "CMakeFiles/test_unified_view.dir/test_unified_view.cpp.o.d"
+  "test_unified_view"
+  "test_unified_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unified_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vclock.dir/test_vclock.cpp.o"
+  "CMakeFiles/test_vclock.dir/test_vclock.cpp.o.d"
+  "test_vclock"
+  "test_vclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

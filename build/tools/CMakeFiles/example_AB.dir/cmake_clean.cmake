@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_AB.dir/example_AB.cpp.o"
+  "CMakeFiles/example_AB.dir/example_AB.cpp.o.d"
+  "example_AB"
+  "example_AB.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_AB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
