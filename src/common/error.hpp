@@ -34,6 +34,9 @@ namespace detail {
 template <typename... Args>
 std::string strprintf(const char* fmt, Args... args) {
   const int n = std::snprintf(nullptr, 0, fmt, args...);
+  // snprintf returns a negative value on encoding errors; fall back to the
+  // raw format string rather than constructing a string of bogus size.
+  if (n < 0) return std::string(fmt);
   std::string out(static_cast<size_t>(n), '\0');
   std::snprintf(out.data(), out.size() + 1, fmt, args...);
   return out;

@@ -39,19 +39,57 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
                      const T* a_local, const BlockLayout& b_layout,
                      const T* b_local, const BlockLayout& c_layout, T* c_local,
                      const Ca3dmmOptions& opt) {
+  // Precondition validation. Every check below depends only on arguments
+  // that MPI semantics require to be identical on all ranks (or on this
+  // rank's own buffers), and runs before any communication: a bad input
+  // raises the same ca3dmm::Error on every rank collectively instead of
+  // diverging into a hang.
+  CA_REQUIRE(world.valid(), "ca3dmm_multiply needs a valid communicator");
   CA_REQUIRE(world.size() == plan.nranks(), "plan is for %d ranks, comm has %d",
              plan.nranks(), world.size());
   const i64 m = plan.m(), n = plan.n(), k = plan.k();
+  CA_REQUIRE(m > 0 && n > 0 && k > 0, "plan is empty (default-constructed?)");
+  CA_REQUIRE(a_layout.nranks() == world.size() &&
+                 b_layout.nranks() == world.size() &&
+                 c_layout.nranks() == world.size(),
+             "operand layouts must cover exactly the %d ranks of the "
+             "communicator (got A:%d B:%d C:%d)",
+             world.size(), a_layout.nranks(), b_layout.nranks(),
+             c_layout.nranks());
   CA_REQUIRE(c_layout.rows() == m && c_layout.cols() == n,
-             "C layout shape mismatch");
+             "C layout is %lld x %lld, plan computes %lld x %lld",
+             static_cast<long long>(c_layout.rows()),
+             static_cast<long long>(c_layout.cols()),
+             static_cast<long long>(m), static_cast<long long>(n));
   CA_REQUIRE((trans_a ? a_layout.cols() : a_layout.rows()) == m &&
                  (trans_a ? a_layout.rows() : a_layout.cols()) == k,
-             "A layout shape mismatch");
+             "A layout is %lld x %lld, plan needs op(A) = %lld x %lld",
+             static_cast<long long>(a_layout.rows()),
+             static_cast<long long>(a_layout.cols()),
+             static_cast<long long>(m), static_cast<long long>(k));
   CA_REQUIRE((trans_b ? b_layout.cols() : b_layout.rows()) == k &&
                  (trans_b ? b_layout.rows() : b_layout.cols()) == n,
-             "B layout shape mismatch");
+             "B layout is %lld x %lld, plan needs op(B) = %lld x %lld",
+             static_cast<long long>(b_layout.rows()),
+             static_cast<long long>(b_layout.cols()),
+             static_cast<long long>(k), static_cast<long long>(n));
+  CA_REQUIRE(opt.min_kblk >= 0,
+             "min_kblk must be >= 0 (0 = one GEMM per shift), got %lld",
+             static_cast<long long>(opt.min_kblk));
 
   const int me = world.rank();
+  CA_REQUIRE(a_local != nullptr || a_layout.local_size(me) == 0,
+             "rank %d: A local buffer is null but the layout assigns it "
+             "%lld elements",
+             me, static_cast<long long>(a_layout.local_size(me)));
+  CA_REQUIRE(b_local != nullptr || b_layout.local_size(me) == 0,
+             "rank %d: B local buffer is null but the layout assigns it "
+             "%lld elements",
+             me, static_cast<long long>(b_layout.local_size(me)));
+  CA_REQUIRE(c_local != nullptr || c_layout.local_size(me) == 0,
+             "rank %d: C local buffer is null but the layout assigns it "
+             "%lld elements",
+             me, static_cast<long long>(c_layout.local_size(me)));
   const RankCoord co = plan.coord(me);
   const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
 

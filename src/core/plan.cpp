@@ -6,8 +6,14 @@ namespace ca3dmm {
 
 Ca3dmmPlan Ca3dmmPlan::make(i64 m, i64 n, i64 k, int nranks,
                             const Ca3dmmOptions& opt) {
-  CA_REQUIRE(m > 0 && n > 0 && k > 0, "CA3DMM needs positive dimensions");
-  CA_REQUIRE(nranks > 0, "CA3DMM needs at least one rank");
+  CA_REQUIRE(m > 0 && n > 0 && k > 0,
+             "CA3DMM needs positive dimensions, got m=%lld n=%lld k=%lld",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k));
+  CA_REQUIRE(nranks > 0, "CA3DMM needs at least one rank, got %d", nranks);
+  CA_REQUIRE(opt.min_kblk >= 0,
+             "min_kblk must be >= 0 (0 = one GEMM per shift), got %lld",
+             static_cast<long long>(opt.min_kblk));
   Ca3dmmPlan p;
   p.m_ = m;
   p.n_ = n;
@@ -15,6 +21,9 @@ Ca3dmmPlan Ca3dmmPlan::make(i64 m, i64 n, i64 k, int nranks,
   p.nranks_ = nranks;
   if (opt.force_grid.has_value()) {
     p.grid_ = *opt.force_grid;
+    CA_REQUIRE(p.grid_.pm >= 1 && p.grid_.pn >= 1 && p.grid_.pk >= 1,
+               "forced grid %dx%dx%d has a non-positive dimension",
+               p.grid_.pm, p.grid_.pn, p.grid_.pk);
     CA_REQUIRE(p.grid_.active() <= nranks,
                "forced grid %dx%dx%d exceeds %d ranks", p.grid_.pm, p.grid_.pn,
                p.grid_.pk, nranks);

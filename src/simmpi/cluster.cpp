@@ -1,6 +1,7 @@
 #include "simmpi/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -33,6 +34,100 @@ Cluster::Cluster(int nranks, Machine machine)
 
 Cluster::~Cluster() = default;
 
+void Cluster::request_abort_locked(int world_rank, const std::string& what) {
+  if (world_rank >= 0 && !rank_failed_[static_cast<size_t>(world_rank)]) {
+    rank_failed_[static_cast<size_t>(world_rank)] = 1;
+    rank_errors_[static_cast<size_t>(world_rank)] = what;
+  }
+  abort_requested_ = true;
+  progress_gen_++;
+  cv_.notify_all();
+  watchdog_cv_.notify_all();
+}
+
+void Cluster::fault_point(RankCtx* ctx) {
+  ctx->comm_ops++;
+  for (const FaultPlan::KillRank& k : faults_.kills)
+    if (k.rank == ctx->world_rank && k.at_op == ctx->comm_ops)
+      throw Error(strprintf(
+          "fault injection: rank %d killed at its comm op %lld", k.rank,
+          static_cast<long long>(k.at_op)));
+}
+
+void Cluster::maybe_flip_payload_locked(const detail::ChannelKey& key,
+                                        void* buf, i64 bytes) {
+  if (faults_.flips.empty() || bytes <= 0) return;
+  const int match = ++recv_match_count_[{key.src, key.dst, key.tag}];
+  for (const FaultPlan::FlipPayload& f : faults_.flips)
+    if (f.src == key.src && f.dst == key.dst && f.tag == key.tag &&
+        f.nth_match == match && f.offset >= 0 && f.offset < bytes)
+      static_cast<unsigned char*>(buf)[f.offset] ^= f.mask;
+}
+
+std::string Cluster::wait_for_table_locked() const {
+  std::string out = "wait-for table (rank / state / comm / peer / tag / vtime):\n";
+  for (int r = 0; r < nranks_; ++r) {
+    const RankCtx& c = ctx_[static_cast<size_t>(r)];
+    if (c.finished) {
+      out += strprintf("  rank %3d  finished                      vtime=%.9g\n",
+                       r, c.clock);
+    } else if (c.blocked_op != nullptr) {
+      out += strprintf(
+          "  rank %3d  blocked in %-14s comm=%llu peer=%d tag=%d vtime=%.9g\n",
+          r, c.blocked_op, static_cast<unsigned long long>(c.blocked_comm),
+          c.blocked_peer, c.blocked_tag, c.clock);
+    } else {
+      out += strprintf("  rank %3d  running                       vtime=%.9g\n",
+                       r, c.clock);
+    }
+  }
+  return out;
+}
+
+void Cluster::watchdog_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t prev_gen = progress_gen_;
+  bool prev_all_blocked = false;
+  while (run_active_) {
+    watchdog_cv_.wait_for(lk, std::chrono::milliseconds(watchdog_interval_ms_));
+    if (!run_active_) break;
+    if (abort_requested_) {
+      prev_all_blocked = false;
+      continue;
+    }
+    // Deadlock iff every live rank is parked in a rendezvous wait, each of
+    // them re-evaluated its wait predicate against the *current* progress
+    // generation (checked_gen == progress_gen_: it examined the latest
+    // rendezvous state under mu_ and found nothing to do — a rank that was
+    // merely notified but not yet scheduled by the host has an older
+    // checked_gen), and no event happened for a full sampling interval.
+    // Every state change that can satisfy a predicate bumps progress_gen_
+    // and notifies, so this condition cannot regress to progress and host
+    // scheduler lag cannot fake it.
+    const bool all_blocked = finished_count_ < nranks_ &&
+                             blocked_count_ == nranks_ - finished_count_;
+    bool all_checked_current = all_blocked;
+    if (all_blocked)
+      for (int r = 0; r < nranks_ && all_checked_current; ++r) {
+        const RankCtx& c = ctx_[static_cast<size_t>(r)];
+        if (!c.finished && c.checked_gen != progress_gen_)
+          all_checked_current = false;
+      }
+    if (all_blocked && all_checked_current && prev_all_blocked &&
+        progress_gen_ == prev_gen) {
+      watchdog_report_ = strprintf(
+          "deadlock detected: all %d live ranks blocked with no progress\n%s",
+          nranks_ - finished_count_, wait_for_table_locked().c_str());
+      std::fprintf(stderr, "[simmpi watchdog] %s", watchdog_report_.c_str());
+      request_abort_locked(-1, watchdog_report_);
+      prev_all_blocked = false;
+      continue;
+    }
+    prev_all_blocked = all_blocked;
+    prev_gen = progress_gen_;
+  }
+}
+
 void Cluster::run(const std::function<void(Comm&)>& rank_main) {
   // Fresh per-rank state for every run.
   for (int r = 0; r < nranks_; ++r) {
@@ -40,39 +135,93 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
     ctx_[r].world_rank = r;
     ctx_[r].machine = &machine_;
     ctx_[r].trace_enabled = trace_enabled_;
+    for (const FaultPlan::StraggleNode& s : faults_.stragglers)
+      if (s.node == machine_.node_of_rank(r))
+        ctx_[r].slowdown *= s.factor;
   }
   channels_.clear();
+  rank_errors_.assign(static_cast<size_t>(nranks_), {});
+  rank_failed_.assign(static_cast<size_t>(nranks_), 0);
+  watchdog_report_.clear();
+  recv_match_count_.clear();
+  abort_requested_ = false;
+  blocked_count_ = 0;
+  finished_count_ = 0;
+  run_active_ = true;
 
   std::vector<int> members(static_cast<size_t>(nranks_));
   std::iota(members.begin(), members.end(), 0);
   auto world = detail::CommState::create(this, std::move(members));
-
-  std::vector<std::string> errors(static_cast<size_t>(nranks_));
-  std::vector<bool> failed(static_cast<size_t>(nranks_), false);
 
   auto thread_main = [&](int r) {
     g_ctx = &ctx_[r];
     try {
       Comm c(world, r);
       rank_main(c);
+    } catch (const detail::ClusterAborted&) {
+      // Unwound cooperatively after a peer failure — not this rank's fault.
     } catch (const std::exception& e) {
-      failed[static_cast<size_t>(r)] = true;
-      errors[static_cast<size_t>(r)] = e.what();
+      std::lock_guard<std::mutex> lk(mu_);
+      request_abort_locked(r, e.what());
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      request_abort_locked(r, "unknown exception");
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ctx_[r].finished = true;
+      finished_count_++;
+      progress_gen_++;
     }
     g_ctx = nullptr;
   };
+
+  std::thread watchdog;
+  if (watchdog_enabled_) watchdog = std::thread([this] { watchdog_main(); });
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) threads.emplace_back(thread_main, r);
   for (auto& t : threads) t.join();
 
-  for (int r = 0; r < nranks_; ++r) {
-    ctx_[r].stats.vtime = ctx_[r].clock;
-    if (failed[static_cast<size_t>(r)])
-      throw Error(strprintf("rank %d failed: %s", r,
-                            errors[static_cast<size_t>(r)].c_str()));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run_active_ = false;
+    watchdog_cv_.notify_all();
   }
+  if (watchdog.joinable()) watchdog.join();
+
+  // Drain undelivered messages. An aborted (or simply unbalanced) run can
+  // leave eager sends in the channels; the receiver that would have deleted
+  // them never came. Rendezvous records point into (already unwound) sender
+  // stack frames and are erased by the sender's cleanup, so only eager
+  // records are owned here.
+  for (auto& [key, q] : channels_)
+    for (detail::SendRec* rec : q)
+      if (rec->eager) delete rec;
+  channels_.clear();
+
+  // Finalize stats for every rank before reporting failures: a failed run
+  // still leaves per-rank virtual times readable for diagnostics.
+  for (int r = 0; r < nranks_; ++r) ctx_[r].stats.vtime = ctx_[r].clock;
+
+  if (!watchdog_report_.empty()) throw Error(watchdog_report_);
+
+  int nfailed = 0;
+  for (int r = 0; r < nranks_; ++r)
+    if (rank_failed_[static_cast<size_t>(r)]) nfailed++;
+  if (nfailed == 0) return;
+  std::string msg;
+  if (nfailed > 1) msg = strprintf("%d ranks failed — ", nfailed);
+  bool first = true;
+  for (int r = 0; r < nranks_; ++r) {
+    if (!rank_failed_[static_cast<size_t>(r)]) continue;
+    if (!first) msg += "; ";
+    first = false;
+    msg += strprintf("rank %d failed: %s", r,
+                     rank_errors_[static_cast<size_t>(r)].c_str());
+  }
+  throw Error(msg);
 }
 
 const RankStats& Cluster::stats(int rank) const {

@@ -19,10 +19,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/partition.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
 
 namespace ca3dmm::simmpi {
@@ -71,6 +74,22 @@ struct RankCtx {
   const Machine* machine = nullptr;
   bool trace_enabled = false;
   std::vector<TraceEvent> trace;
+  double slowdown = 1.0;  ///< fault-injected straggler factor (>= 1)
+  i64 comm_ops = 0;       ///< communication ops issued (fault-kill counter)
+
+  // --- blocked-state, read by the deadlock watchdog ---
+  // All fields below are written and read only under Cluster::mu_.
+  const char* blocked_op = nullptr;  ///< non-null while parked in a wait
+  std::uint64_t blocked_comm = 0;    ///< communicator id of the wait
+  int blocked_peer = -1;  ///< p2p peer (group rank) or #arrived for collectives
+  int blocked_tag = -1;   ///< p2p tag; -1 for collectives
+  /// Cluster::progress_gen_ at this rank's most recent wait-predicate
+  /// evaluation. checked_gen == progress_gen_ means the rank re-examined the
+  /// *current* rendezvous state and found it still has nothing to do; a rank
+  /// that was notified but not yet scheduled has checked_gen < progress_gen_,
+  /// which is how the watchdog tells scheduler lag from a true deadlock.
+  std::uint64_t checked_gen = 0;
+  bool finished = false;  ///< rank thread has returned
 
   void record(Phase p, double t0, double t1) {
     if (trace_enabled && t1 > t0) trace.push_back(TraceEvent{p, t0, t1});
@@ -99,6 +118,12 @@ struct ChannelKey {
   int src, dst, tag;
   auto operator<=>(const ChannelKey&) const = default;
 };
+
+/// Thrown by blocking primitives when the cluster is unwinding after a peer
+/// failure (cooperative abort). Deliberately not derived from std::exception
+/// so rank code catching std::exception does not swallow the unwind; caught
+/// only by Cluster::run's per-rank wrapper.
+struct ClusterAborted {};
 }  // namespace detail
 
 /// A simulated cluster of `nranks` ranks with a fixed machine model.
@@ -112,7 +137,15 @@ class Cluster {
 
   /// Runs `rank_main` on every rank (each on its own thread) with a world
   /// communicator, and waits for all ranks to finish. Statistics are reset at
-  /// entry and readable afterwards. Rethrows the first rank exception.
+  /// entry, finalized for every rank (failed or not), and readable
+  /// afterwards.
+  ///
+  /// Failure semantics: a rank exception triggers a cooperative abort — all
+  /// peers blocked in communication unwind, run() always joins, and a single
+  /// ca3dmm::Error listing *every* failed rank is thrown. A deadlock (all
+  /// live ranks blocked with no progress) is detected by the watchdog and
+  /// reported as an Error carrying the full wait-for table instead of
+  /// hanging.
   void run(const std::function<void(Comm&)>& rank_main);
 
   int nranks() const { return nranks_; }
@@ -128,6 +161,25 @@ class Cluster {
   /// Enables per-rank timeline recording for subsequent run() calls.
   void set_trace(bool enabled) { trace_enabled_ = enabled; }
 
+  /// Debug-validation mode: every collective rendezvous cross-checks all
+  /// members' arguments (op, sizes, root, dtype, counts vectors) and raises
+  /// a ca3dmm::Error on every member before any data movement. Off by
+  /// default; the always-on checks still catch mismatched ops and sizes.
+  void set_validation(bool on) { validate_ = on; }
+
+  /// Attaches a deterministic fault-injection plan to subsequent run()
+  /// calls; pass a default-constructed FaultPlan to clear.
+  void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+
+  /// Deadlock watchdog (on by default): a background thread that aborts the
+  /// run with a wait-for-table diagnostic when every live rank is blocked
+  /// and no progress occurs across two sampling intervals.
+  void set_watchdog(bool enabled) { watchdog_enabled_ = enabled; }
+  void set_watchdog_interval_ms(int ms) {
+    CA_REQUIRE(ms >= 1, "watchdog interval must be >= 1 ms, got %d", ms);
+    watchdog_interval_ms_ = ms;
+  }
+
   /// Writes the recorded timelines of the last run() in Chrome trace-event
   /// JSON (open in chrome://tracing or https://ui.perfetto.dev): one track
   /// per rank, one slice per phase interval, microsecond = simulated
@@ -137,6 +189,29 @@ class Cluster {
  private:
   friend class Comm;
   friend struct detail::CommState;
+
+  // --- cooperative abort (all under mu_ unless noted) ---
+  /// Records `what` as rank `world_rank`'s failure (first error per rank
+  /// wins; world_rank < 0 records no rank), sets the abort flag, and wakes
+  /// every blocked rank so it unwinds via detail::ClusterAborted.
+  void request_abort_locked(int world_rank, const std::string& what);
+  /// Throws detail::ClusterAborted if an abort is in flight.
+  void check_abort_locked() const {
+    if (abort_requested_) throw detail::ClusterAborted{};
+  }
+
+  // --- fault injection ---
+  /// Counts one communication op on `ctx` and throws ca3dmm::Error if the
+  /// fault plan kills this rank at this op. No lock needed: the plan is
+  /// immutable during run() and the counter is rank-private.
+  void fault_point(RankCtx* ctx);
+  /// Applies any matching payload flip to a just-received message. mu_ held.
+  void maybe_flip_payload_locked(const detail::ChannelKey& key, void* buf,
+                                 i64 bytes);
+
+  // --- deadlock watchdog ---
+  void watchdog_main();
+  std::string wait_for_table_locked() const;
 
   int nranks_;
   Machine machine_;
@@ -149,6 +224,23 @@ class Cluster {
   std::map<detail::ChannelKey, std::deque<detail::SendRec*>> channels_;
   std::uint64_t next_comm_id_ = 1;
   bool trace_enabled_ = false;
+  bool validate_ = false;
+  FaultPlan faults_;
+
+  // --- run-scoped failure state (guarded by mu_) ---
+  bool abort_requested_ = false;
+  std::uint64_t progress_gen_ = 0;  ///< bumped on every rendezvous event
+  int blocked_count_ = 0;           ///< ranks parked in a wait
+  int finished_count_ = 0;          ///< rank threads that returned
+  bool run_active_ = false;         ///< watchdog lifetime
+  std::condition_variable watchdog_cv_;
+  bool watchdog_enabled_ = true;
+  int watchdog_interval_ms_ = 100;
+  std::vector<std::string> rank_errors_;
+  std::vector<std::uint8_t> rank_failed_;
+  std::string watchdog_report_;
+  /// Per-(src,dst,tag) received-message counter for payload flips.
+  std::map<std::tuple<int, int, int>, int> recv_match_count_;
 };
 
 /// RAII owning buffer whose size is reported to the rank's memory tracker.

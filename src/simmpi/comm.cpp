@@ -9,10 +9,138 @@
 namespace ca3dmm::simmpi {
 
 using detail::ChannelKey;
+using detail::ClusterAborted;
+using detail::coll_op_name;
 using detail::CommState;
 using detail::SendRec;
 
 namespace {
+
+/// Marks the calling rank blocked for the deadlock watchdog for the lifetime
+/// of the scope. Constructed and destroyed with the cluster rendezvous lock
+/// held (the condition_variable wait releases it in between, which is
+/// exactly the window in which the watchdog may inspect the fields).
+class BlockedScope {
+ public:
+  BlockedScope(int* counter, RankCtx* ctx, const char* op, std::uint64_t comm,
+               int peer, int tag)
+      : counter_(counter), ctx_(ctx) {
+    ctx_->blocked_op = op;
+    ctx_->blocked_comm = comm;
+    ctx_->blocked_peer = peer;
+    ctx_->blocked_tag = tag;
+    ++*counter_;
+  }
+  ~BlockedScope() {
+    ctx_->blocked_op = nullptr;
+    --*counter_;
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  int* counter_;
+  RankCtx* ctx_;
+};
+
+/// Debug-validation pass over a complete rendezvous: cross-checks every
+/// member's arguments before any data movement. Returns an error message, or
+/// "" when the collective is consistent. Runs on the last arriver with the
+/// rendezvous lock held.
+std::string validate_collective(const CommState& st, CommState::Op op) {
+  const int p = static_cast<int>(st.members.size());
+  const CommState::Slot& s0 = st.slots[0];
+  switch (op) {
+    case CommState::Op::kBcast:
+      if (s0.i0 < 0 || s0.i0 >= p)
+        return strprintf("bcast root %d out of range [0,%d)", s0.i0, p);
+      for (int j = 1; j < p; ++j) {
+        const auto& sj = st.slots[static_cast<size_t>(j)];
+        if (sj.i0 != s0.i0)
+          return strprintf("bcast root mismatch: rank 0 posted root %d, "
+                           "rank %d posted root %d", s0.i0, j, sj.i0);
+        if (sj.n0 != s0.n0)
+          return strprintf("bcast size mismatch: rank 0 posted %lld bytes, "
+                           "rank %d posted %lld",
+                           static_cast<long long>(s0.n0), j,
+                           static_cast<long long>(sj.n0));
+      }
+      break;
+    case CommState::Op::kAllgather:
+      for (int j = 1; j < p; ++j)
+        if (st.slots[static_cast<size_t>(j)].n0 != s0.n0)
+          return strprintf("allgather size mismatch: rank 0 posted %lld "
+                           "bytes, rank %d posted %lld",
+                           static_cast<long long>(s0.n0), j,
+                           static_cast<long long>(
+                               st.slots[static_cast<size_t>(j)].n0));
+      break;
+    case CommState::Op::kAllgatherv:
+    case CommState::Op::kReduceScatter: {
+      const char* name = coll_op_name(op);
+      for (int j = 0; j < p; ++j) {
+        const auto& sj = st.slots[static_cast<size_t>(j)];
+        if (sj.v0 == nullptr || static_cast<int>(sj.v0->size()) != p)
+          return strprintf("%s: rank %d passed a counts vector of size %d, "
+                           "expected %d", name, j,
+                           sj.v0 ? static_cast<int>(sj.v0->size()) : 0, p);
+        if (*sj.v0 != *s0.v0)
+          return strprintf("%s counts mismatch between rank 0 and rank %d",
+                           name, j);
+        if (op == CommState::Op::kAllgatherv &&
+            (*sj.v0)[static_cast<size_t>(j)] != sj.n0)
+          return strprintf("allgatherv: rank %d passed my_bytes=%lld but "
+                           "counts[%d]=%lld", j,
+                           static_cast<long long>(sj.n0), j,
+                           static_cast<long long>(
+                               (*sj.v0)[static_cast<size_t>(j)]));
+        if (op == CommState::Op::kReduceScatter && sj.dt != s0.dt)
+          return strprintf("reduce_scatter dtype mismatch between rank 0 and "
+                           "rank %d", j);
+      }
+      break;
+    }
+    case CommState::Op::kAllreduce:
+      for (int j = 1; j < p; ++j) {
+        const auto& sj = st.slots[static_cast<size_t>(j)];
+        if (sj.n0 != s0.n0)
+          return strprintf("allreduce count mismatch: rank 0 posted %lld, "
+                           "rank %d posted %lld",
+                           static_cast<long long>(s0.n0), j,
+                           static_cast<long long>(sj.n0));
+        if (sj.dt != s0.dt)
+          return strprintf("allreduce dtype mismatch between rank 0 and "
+                           "rank %d", j);
+      }
+      break;
+    case CommState::Op::kAlltoallv:
+      for (int j = 0; j < p; ++j) {
+        const auto& sj = st.slots[static_cast<size_t>(j)];
+        for (const std::vector<i64>* v : {sj.v0, sj.v1, sj.v2, sj.v3})
+          if (v == nullptr || static_cast<int>(v->size()) != p)
+            return strprintf("alltoallv: rank %d passed a counts/displs "
+                             "vector of the wrong size", j);
+      }
+      for (int src = 0; src < p; ++src)
+        for (int dst = 0; dst < p; ++dst) {
+          const i64 sent = (*st.slots[static_cast<size_t>(src)].v0)
+              [static_cast<size_t>(dst)];
+          const i64 expected = (*st.slots[static_cast<size_t>(dst)].v2)
+              [static_cast<size_t>(src)];
+          if (sent != expected)
+            return strprintf("alltoallv count mismatch: rank %d sends %lld "
+                             "bytes to rank %d, which expects %lld", src,
+                             static_cast<long long>(sent), dst,
+                             static_cast<long long>(expected));
+        }
+      break;
+    case CommState::Op::kBarrier:
+    case CommState::Op::kSplit:
+    case CommState::Op::kNone:
+      break;
+  }
+  return "";
+}
 
 /// Generic collective rendezvous. Every member stores its arguments into its
 /// slot; the last rank to arrive performs the data movement (all buffers are
@@ -20,6 +148,12 @@ namespace {
 /// `perform`, and releases the group. Exit clock for everyone is
 /// max(entry clocks) + cost. `finish` runs for every rank, under the lock,
 /// after completion (used by split to fetch its result).
+///
+/// Failure handling: an in-flight cluster abort unwinds the wait via
+/// ClusterAborted; a mismatched op raises Error on the offending rank (peers
+/// unwind through the abort the failure triggers); a consistency-check or
+/// perform failure is stored in st.coll_error and raised as the same Error
+/// on every member.
 template <class Fill, class Perform, class Finish>
 void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
                     Perform&& perform, Finish&& finish) {
@@ -28,29 +162,53 @@ void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
   const int p = static_cast<int>(st.members.size());
 
   std::unique_lock<std::mutex> lk(st.mu());
+  if (st.aborted()) throw ClusterAborted{};
+  st.fault_point(ctx);  // deterministic rank-kill injection point
   CommState::Slot& slot = st.slots[static_cast<size_t>(me)];
   slot = CommState::Slot{};
   fill(slot);
   slot.t_entry = ctx->clock;
-  if (st.arrived == 0)
+  if (st.arrived == 0) {
     st.op = op;
-  else
-    CA_ASSERT_MSG(st.op == op, "mismatched collective on comm %llu",
-                  static_cast<unsigned long long>(st.id));
+    st.coll_error.clear();
+  } else if (st.op != op) {
+    throw Error(strprintf(
+        "mismatched collective on comm %llu: rank %d (world %d) posted %s "
+        "while the in-flight operation is %s",
+        static_cast<unsigned long long>(st.id), me,
+        st.members[static_cast<size_t>(me)], coll_op_name(op),
+        coll_op_name(st.op)));
+  }
   const std::uint64_t gen = st.generation;
   st.arrived++;
   if (st.arrived == p) {
     double t0 = 0;
     for (const auto& s : st.slots) t0 = std::max(t0, s.t_entry);
-    const double cost = perform(st);
+    double cost = 0;
+    if (st.validation()) st.coll_error = validate_collective(st, op);
+    if (st.coll_error.empty()) {
+      try {
+        cost = perform(st);
+      } catch (const Error& e) {
+        st.coll_error = e.what();
+      }
+    }
     st.exit_time = t0 + cost;
     st.arrived = 0;
     st.op = CommState::Op::kNone;
     st.generation++;
+    st.bump_progress();
     st.cv().notify_all();
   } else {
-    st.cv().wait(lk, [&] { return st.generation != gen; });
+    BlockedScope bs(st.blocked_counter(), ctx, coll_op_name(op), st.id,
+                    st.arrived, -1);
+    st.cv().wait(lk, [&] {
+      st.note_check(ctx);
+      return st.generation != gen || st.aborted();
+    });
+    if (st.generation == gen) throw ClusterAborted{};
   }
+  if (!st.coll_error.empty()) throw Error(st.coll_error);
   const double delta = st.exit_time - ctx->clock;
   CA_ASSERT(delta >= -1e-12);
   ctx->last_op_cost = std::max(0.0, delta);
@@ -107,7 +265,7 @@ Phase Comm::phase() const { return current_ctx()->cur_phase; }
 
 void Comm::charge_compute(double flops, double bytes) {
   RankCtx* ctx = current_ctx();
-  const double t = machine().gemm_time(flops, bytes);
+  const double t = machine().gemm_time(flops, bytes) * ctx->slowdown;
   ctx->stats.flops += flops;
   ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
   ctx->record(Phase::kCompute, ctx->clock, ctx->clock + t);
@@ -126,7 +284,7 @@ void Comm::charge_compute_overlap_budget(double flops, double bytes,
   // pipelining on the device path. On CPU, only a fraction of the in-flight
   // communication actually hides behind the GEMM.
   budget = machine().use_gpu ? 0.0 : budget * machine().overlap_efficiency;
-  const double t = machine().gemm_time(flops, bytes);
+  const double t = machine().gemm_time(flops, bytes) * ctx->slowdown;
   ctx->stats.flops += flops;
   // The full GEMM time is reported in the compute phase; the clock only
   // advances by the part that does not hide behind the in-flight
@@ -149,7 +307,10 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
-  CA_ASSERT(root >= 0 && root < size());
+  CA_REQUIRE(root >= 0 && root < size(), "bcast root %d out of range [0,%d)",
+             root, size());
+  CA_REQUIRE(bytes >= 0, "bcast of negative size %lld",
+             static_cast<long long>(bytes));
   run_collective(
       *state_, my_index_, CommState::Op::kBcast,
       [&](CommState::Slot& s) {
@@ -159,20 +320,29 @@ void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
       },
       [&](CommState& st) {
         const int p = static_cast<int>(st.members.size());
-        const void* src = st.slots[static_cast<size_t>(root)].rbuf;
+        // Validate every member's arguments before the first memcpy so a
+        // posting error never corrupts peer buffers.
         for (int j = 0; j < p; ++j) {
-          CA_ASSERT(st.slots[static_cast<size_t>(j)].i0 == root);
-          CA_ASSERT(st.slots[static_cast<size_t>(j)].n0 == bytes);
-          if (j != root)
-            std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, src,
-                        static_cast<size_t>(bytes));
+          const auto& sj = st.slots[static_cast<size_t>(j)];
+          CA_REQUIRE(sj.i0 == root, "bcast root mismatch on comm %llu",
+                     static_cast<unsigned long long>(st.id));
+          CA_REQUIRE(sj.n0 == bytes, "bcast size mismatch on comm %llu",
+                     static_cast<unsigned long long>(st.id));
         }
+        const void* src = st.slots[static_cast<size_t>(root)].rbuf;
+        if (bytes > 0)
+          for (int j = 0; j < p; ++j)
+            if (j != root)
+              std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, src,
+                          static_cast<size_t>(bytes));
         return t_broadcast(st.link, static_cast<double>(bytes), p);
       },
       NoFinish{});
 }
 
 void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
+  CA_REQUIRE(bytes_each >= 0, "allgather of negative size %lld",
+             static_cast<long long>(bytes_each));
   run_collective(
       *state_, my_index_, CommState::Op::kAllgather,
       [&](CommState::Slot& s) {
@@ -182,15 +352,19 @@ void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
       },
       [&](CommState& st) {
         const int p = static_cast<int>(st.members.size());
-        for (int j = 0; j < p; ++j) {
-          const auto& sj = st.slots[static_cast<size_t>(j)];
-          CA_ASSERT(sj.n0 == bytes_each);
-          for (int d = 0; d < p; ++d) {
-            auto& sd = st.slots[static_cast<size_t>(d)];
-            std::memcpy(static_cast<char*>(sd.rbuf) + j * bytes_each, sj.sbuf,
-                        static_cast<size_t>(bytes_each));
+        for (int j = 0; j < p; ++j)
+          CA_REQUIRE(st.slots[static_cast<size_t>(j)].n0 == bytes_each,
+                     "allgather size mismatch on comm %llu",
+                     static_cast<unsigned long long>(st.id));
+        if (bytes_each > 0)
+          for (int j = 0; j < p; ++j) {
+            const auto& sj = st.slots[static_cast<size_t>(j)];
+            for (int d = 0; d < p; ++d) {
+              auto& sd = st.slots[static_cast<size_t>(d)];
+              std::memcpy(static_cast<char*>(sd.rbuf) + j * bytes_each,
+                          sj.sbuf, static_cast<size_t>(bytes_each));
+            }
           }
-        }
         return t_allgather(st.link, static_cast<double>(bytes_each) * p, p);
       },
       NoFinish{});
@@ -198,8 +372,13 @@ void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
 
 void Comm::allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
                             const std::vector<i64>& counts) {
-  CA_ASSERT(static_cast<int>(counts.size()) == size());
-  CA_ASSERT(counts[static_cast<size_t>(my_index_)] == my_bytes);
+  CA_REQUIRE(static_cast<int>(counts.size()) == size(),
+             "allgatherv counts vector has %d entries, comm has %d ranks",
+             static_cast<int>(counts.size()), size());
+  CA_REQUIRE(counts[static_cast<size_t>(my_index_)] == my_bytes,
+             "allgatherv: my_bytes=%lld but counts[%d]=%lld",
+             static_cast<long long>(my_bytes), my_index_,
+             static_cast<long long>(counts[static_cast<size_t>(my_index_)]));
   run_collective(
       *state_, my_index_, CommState::Op::kAllgatherv,
       [&](CommState::Slot& s) {
@@ -232,13 +411,16 @@ void Comm::allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
 void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
                               const std::vector<i64>& counts, Dtype dtype,
                               bool custom_tree) {
-  CA_ASSERT(static_cast<int>(counts.size()) == size());
+  CA_REQUIRE(static_cast<int>(counts.size()) == size(),
+             "reduce_scatter counts vector has %d entries, comm has %d ranks",
+             static_cast<int>(counts.size()), size());
   run_collective(
       *state_, my_index_, CommState::Op::kReduceScatter,
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
         s.v0 = &counts;
+        s.dt = dtype;
       },
       [&](CommState& st) {
         const int p = static_cast<int>(st.members.size());
@@ -273,25 +455,34 @@ void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
 }
 
 void Comm::allreduce_sum(const void* sbuf, void* rbuf, i64 count, Dtype dtype) {
+  CA_REQUIRE(count >= 0, "allreduce of negative count %lld",
+             static_cast<long long>(count));
   run_collective(
       *state_, my_index_, CommState::Op::kAllreduce,
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
         s.n0 = count;
+        s.dt = dtype;
       },
       [&](CommState& st) {
         const int p = static_cast<int>(st.members.size());
         const i64 esize = dtype_size(dtype);
-        // Sum into member 0's rbuf, then copy to all.
-        auto& s0 = st.slots[0];
-        std::memcpy(s0.rbuf, s0.sbuf, static_cast<size_t>(count * esize));
-        for (int j = 1; j < p; ++j)
-          reduce_sum_into(s0.rbuf, st.slots[static_cast<size_t>(j)].sbuf,
-                          count, dtype);
-        for (int j = 1; j < p; ++j)
-          std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, s0.rbuf,
-                      static_cast<size_t>(count * esize));
+        for (int j = 0; j < p; ++j)
+          CA_REQUIRE(st.slots[static_cast<size_t>(j)].n0 == count,
+                     "allreduce count mismatch on comm %llu",
+                     static_cast<unsigned long long>(st.id));
+        if (count > 0) {
+          // Sum into member 0's rbuf, then copy to all.
+          auto& s0 = st.slots[0];
+          std::memcpy(s0.rbuf, s0.sbuf, static_cast<size_t>(count * esize));
+          for (int j = 1; j < p; ++j)
+            reduce_sum_into(s0.rbuf, st.slots[static_cast<size_t>(j)].sbuf,
+                            count, dtype);
+          for (int j = 1; j < p; ++j)
+            std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, s0.rbuf,
+                        static_cast<size_t>(count * esize));
+        }
         return t_allreduce(st.link, static_cast<double>(count * esize), p);
       },
       NoFinish{});
@@ -302,8 +493,11 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
                            const std::vector<i64>& rcounts,
                            const std::vector<i64>& rdispls) {
   const int p = size();
-  CA_ASSERT(static_cast<int>(scounts.size()) == p &&
-            static_cast<int>(rcounts.size()) == p);
+  CA_REQUIRE(static_cast<int>(scounts.size()) == p &&
+                 static_cast<int>(sdispls.size()) == p &&
+                 static_cast<int>(rcounts.size()) == p &&
+                 static_cast<int>(rdispls.size()) == p,
+             "alltoallv counts/displs vectors must have %d entries", p);
   run_collective(
       *state_, my_index_, CommState::Op::kAlltoallv,
       [&](CommState::Slot& s) {
@@ -315,6 +509,17 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
         s.v3 = &rdispls;
       },
       [&](CommState& st) {
+        // Cross-check the full exchange matrix before the first memcpy so a
+        // count mismatch never corrupts peer buffers.
+        for (int src = 0; src < p; ++src) {
+          const auto& ss = st.slots[static_cast<size_t>(src)];
+          for (int dst = 0; dst < p; ++dst) {
+            const auto& sd = st.slots[static_cast<size_t>(dst)];
+            CA_REQUIRE((*ss.v0)[static_cast<size_t>(dst)] ==
+                           (*sd.v2)[static_cast<size_t>(src)],
+                       "alltoallv count mismatch %d->%d", src, dst);
+          }
+        }
         double max_bytes = 0;
         for (int src = 0; src < p; ++src) {
           const auto& ss = st.slots[static_cast<size_t>(src)];
@@ -322,8 +527,6 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
           for (int dst = 0; dst < p; ++dst) {
             const auto& sd = st.slots[static_cast<size_t>(dst)];
             const i64 n = (*ss.v0)[static_cast<size_t>(dst)];
-            CA_ASSERT_MSG(n == (*sd.v2)[static_cast<size_t>(src)],
-                          "alltoallv count mismatch %d->%d", src, dst);
             if (n > 0)
               std::memcpy(static_cast<char*>(sd.rbuf) +
                               (*sd.v3)[static_cast<size_t>(src)],
@@ -387,8 +590,13 @@ Comm Comm::split(int color, int key) const {
 // ---------------- point-to-point ----------------
 
 void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
+  CA_REQUIRE(bytes >= 0, "send of negative size %lld",
+             static_cast<long long>(bytes));
+  CA_REQUIRE(dst >= 0 && dst < size(),
+             "send destination %d out of range [0,%d)", dst, size());
   Cluster* cl = state_->cluster;
   RankCtx* ctx = current_ctx();
+  cl->fault_point(ctx);
   const double entry = ctx->clock;
   const int dst_w = world_rank_of(dst);
   auto rec = std::make_unique<SendRec>();
@@ -403,17 +611,29 @@ void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
   const ChannelKey key{state_->id, world_rank(), dst_w, tag};
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
+    cl->check_abort_locked();
     cl->channels_[key].push_back(rec.release());  // receiver deletes
+    cl->progress_gen_++;
     cl->cv_.notify_all();
   }
   const bool same =
       machine().node_of_rank(world_rank()) == machine().node_of_rank(dst_w);
-  const double t = t_p2p(machine(), static_cast<double>(bytes), same);
+  const double t =
+      t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
   ctx->last_op_cost = t;
   ctx->charge(t);
 }
 
 void Comm::recv_bytes(void* buf, i64 bytes, int src, int tag) {
+  CA_REQUIRE(bytes >= 0, "recv of negative size %lld",
+             static_cast<long long>(bytes));
+  CA_REQUIRE(src >= 0 && src < size(), "recv source %d out of range [0,%d)",
+             src, size());
+  state_->cluster->fault_point(current_ctx());
+  recv_impl(buf, bytes, src, tag);
+}
+
+void Comm::recv_impl(void* buf, i64 bytes, int src, int tag) {
   Cluster* cl = state_->cluster;
   RankCtx* ctx = current_ctx();
   const double entry = ctx->clock;
@@ -422,26 +642,41 @@ void Comm::recv_bytes(void* buf, i64 bytes, int src, int tag) {
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
     SendRec* rec = nullptr;
-    cl->cv_.wait(lk, [&] {
-      auto it = cl->channels_.find(key);
-      if (it == cl->channels_.end() || it->second.empty()) return false;
-      rec = it->second.front();
-      return true;
-    });
+    {
+      BlockedScope bs(&cl->blocked_count_, ctx, "recv", state_->id, src, tag);
+      cl->cv_.wait(lk, [&] {
+        ctx->checked_gen = cl->progress_gen_;
+        if (cl->abort_requested_) return true;
+        auto it = cl->channels_.find(key);
+        if (it == cl->channels_.end() || it->second.empty()) return false;
+        rec = it->second.front();
+        return true;
+      });
+    }
+    if (rec == nullptr) throw detail::ClusterAborted{};
+    // A size mismatch is a user-facing posting error: leave the record in
+    // the channel (the sender's cleanup owns it) and let the Error flow
+    // through the cooperative-abort path.
+    CA_REQUIRE(rec->bytes == bytes,
+               "recv size mismatch on comm %llu (world %d -> %d, tag %d): "
+               "receiver posted %lld bytes, sender sent %lld",
+               static_cast<unsigned long long>(state_->id), key.src, key.dst,
+               tag, static_cast<long long>(bytes),
+               static_cast<long long>(rec->bytes));
     cl->channels_[key].pop_front();
-    CA_ASSERT_MSG(rec->bytes == bytes, "recv size mismatch: posted %lld, got %lld",
-                  static_cast<long long>(bytes),
-                  static_cast<long long>(rec->bytes));
     if (bytes > 0) std::memmove(buf, rec->buf, static_cast<size_t>(bytes));
+    cl->maybe_flip_payload_locked(key, buf, bytes);
     const bool same =
         machine().node_of_rank(key.src) == machine().node_of_rank(key.dst);
-    const double t = t_p2p(machine(), static_cast<double>(bytes), same);
+    const double t =
+        t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
     exit = std::max(entry, rec->t_entry) + t;
     if (rec->eager) {
       delete rec;
     } else {
       rec->t_exit = exit;
       rec->consumed = true;
+      cl->progress_gen_++;
       cl->cv_.notify_all();
     }
   }
@@ -451,8 +686,12 @@ void Comm::recv_bytes(void* buf, i64 bytes, int src, int tag) {
 
 void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
                           i64 rbytes, int src, int tag) {
+  CA_REQUIRE(sbytes >= 0 && rbytes >= 0, "sendrecv of negative size");
+  CA_REQUIRE(dst >= 0 && dst < size() && src >= 0 && src < size(),
+             "sendrecv peer out of range [0,%d)", size());
   Cluster* cl = state_->cluster;
   RankCtx* ctx = current_ctx();
+  cl->fault_point(ctx);
   const double entry = ctx->clock;
   SendRec rec;
   rec.buf = sbuf;
@@ -461,13 +700,33 @@ void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
   const ChannelKey skey{state_->id, world_rank(), world_rank_of(dst), tag};
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
+    cl->check_abort_locked();
     cl->channels_[skey].push_back(&rec);
+    cl->progress_gen_++;
     cl->cv_.notify_all();
   }
-  recv_bytes(rbuf, rbytes, src, tag);
-  {
+  try {
+    recv_impl(rbuf, rbytes, src, tag);
     std::unique_lock<std::mutex> lk(cl->mu_);
-    cl->cv_.wait(lk, [&] { return rec.consumed; });
+    {
+      BlockedScope bs(&cl->blocked_count_, ctx, "sendrecv-wait", state_->id,
+                      dst, tag);
+      cl->cv_.wait(lk, [&] {
+        ctx->checked_gen = cl->progress_gen_;
+        return rec.consumed || cl->abort_requested_;
+      });
+    }
+    if (!rec.consumed) throw detail::ClusterAborted{};
+  } catch (...) {
+    // The zero-copy send record points into this stack frame: unregister it
+    // before unwinding so no peer can touch a dangling pointer.
+    std::lock_guard<std::mutex> lk(cl->mu_);
+    auto it = cl->channels_.find(skey);
+    if (it != cl->channels_.end()) {
+      auto pos = std::find(it->second.begin(), it->second.end(), &rec);
+      if (pos != it->second.end()) it->second.erase(pos);
+    }
+    throw;
   }
   if (rec.t_exit > ctx->clock) ctx->charge(rec.t_exit - ctx->clock);
   ctx->last_op_cost = ctx->clock - entry;

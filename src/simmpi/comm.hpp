@@ -141,6 +141,10 @@ class Comm {
   explicit Comm(std::shared_ptr<detail::CommState> s, int my_index)
       : state_(std::move(s)), my_index_(my_index) {}
 
+  /// recv_bytes without the fault-injection op count (sendrecv counts as one
+  /// op and reuses this for its receive half).
+  void recv_impl(void* buf, i64 bytes, int src, int tag);
+
   std::shared_ptr<detail::CommState> state_;
   int my_index_ = -1;
 };

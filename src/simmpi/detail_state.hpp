@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "simmpi/cluster.hpp"
@@ -53,6 +54,11 @@ struct CommState {
   int arrived = 0;
   std::uint64_t generation = 0;
   double exit_time = 0;
+  /// Non-empty when the in-flight rendezvous failed a consistency check (or
+  /// its perform step threw): every member throws this as a ca3dmm::Error,
+  /// so collective argument errors are raised collectively. Cleared by the
+  /// first arriver of the next rendezvous.
+  std::string coll_error;
 
   struct Slot {
     const void* sbuf = nullptr;
@@ -64,6 +70,7 @@ struct CommState {
     const std::vector<i64>* v2 = nullptr;
     const std::vector<i64>* v3 = nullptr;
     double t_entry = 0;
+    Dtype dt = Dtype::kF64;
   };
   std::vector<Slot> slots;
   Dtype dtype = Dtype::kF64;
@@ -73,12 +80,35 @@ struct CommState {
   std::vector<std::pair<std::shared_ptr<CommState>, int>> split_out;
 
   // CommState is a friend of Cluster; these let the collective runner reach
-  // the cluster-wide rendezvous lock.
+  // the cluster-wide rendezvous lock and failure-handling state.
   std::mutex& mu() const { return cluster->mu_; }
   std::condition_variable& cv() const { return cluster->cv_; }
+  bool aborted() const { return cluster->abort_requested_; }
+  void bump_progress() const { ++cluster->progress_gen_; }
+  void note_check(RankCtx* ctx) const {
+    ctx->checked_gen = cluster->progress_gen_;
+  }
+  int* blocked_counter() const { return &cluster->blocked_count_; }
+  bool validation() const { return cluster->validate_; }
+  void fault_point(RankCtx* ctx) const { cluster->fault_point(ctx); }
 
   static std::shared_ptr<CommState> create(Cluster* cl,
                                            std::vector<int> members);
 };
+
+inline const char* coll_op_name(CommState::Op op) {
+  switch (op) {
+    case CommState::Op::kNone: return "none";
+    case CommState::Op::kBarrier: return "barrier";
+    case CommState::Op::kBcast: return "bcast";
+    case CommState::Op::kAllgather: return "allgather";
+    case CommState::Op::kAllgatherv: return "allgatherv";
+    case CommState::Op::kReduceScatter: return "reduce_scatter";
+    case CommState::Op::kAllreduce: return "allreduce";
+    case CommState::Op::kAlltoallv: return "alltoallv";
+    case CommState::Op::kSplit: return "split";
+  }
+  return "?";
+}
 
 }  // namespace ca3dmm::simmpi::detail

@@ -1,0 +1,54 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan is attached to a Cluster before run() and fires at exact
+// points in each rank's own program order, so a given plan reproduces the
+// same failure on every run — the property that makes failure-path tests
+// (cooperative abort, watchdog, consistency checks) non-flaky.
+#pragma once
+
+#include <vector>
+
+#include "common/partition.hpp"
+
+namespace ca3dmm::simmpi {
+
+struct FaultPlan {
+  /// Throw a ca3dmm::Error inside world rank `rank` when it issues its
+  /// `at_op`-th communication operation (1-based; every collective, send,
+  /// recv, and sendrecv counts as one op on the calling rank).
+  struct KillRank {
+    int rank = -1;
+    i64 at_op = 1;
+  };
+
+  /// Scale all locally charged time of every rank on node `node` by
+  /// `factor` (>= 1): local GEMMs and the rank's own point-to-point costs.
+  /// Collectives observe the straggler through its late arrival, which is
+  /// exactly how a slow node delays a bulk-synchronous phase.
+  struct StraggleNode {
+    int node = -1;
+    double factor = 1.0;
+  };
+
+  /// XOR `mask` into byte `offset` of the `nth_match`-th message received on
+  /// the point-to-point channel (src, dst, tag) — world ranks, 1-based match
+  /// count, across all communicators.
+  struct FlipPayload {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    int nth_match = 1;
+    i64 offset = 0;
+    unsigned char mask = 0x01;
+  };
+
+  std::vector<KillRank> kills;
+  std::vector<StraggleNode> stragglers;
+  std::vector<FlipPayload> flips;
+
+  bool empty() const {
+    return kills.empty() && stragglers.empty() && flips.empty();
+  }
+};
+
+}  // namespace ca3dmm::simmpi

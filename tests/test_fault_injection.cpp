@@ -1,0 +1,305 @@
+// Failure semantics of the simulated cluster: cooperative abort (a failing
+// rank unwinds every peer in bounded time, with a rank-attributed error),
+// deterministic fault injection (rank kills, node stragglers, payload
+// flips), the collective-consistency checker, and the deadlock watchdog.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ca3dmm.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+/// Runs rank_main and returns the Error message the run raised.
+std::string run_expect_error(Cluster& cl,
+                             const std::function<void(Comm&)>& rank_main) {
+  try {
+    cl.run(rank_main);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "run() completed without raising an Error";
+  return "";
+}
+
+TEST(CooperativeAbort, ThrowMidCollectiveUnwindsWholeCluster) {
+  // Rank 3 fails before entering the barrier every other rank is blocked
+  // in. Without cooperative abort this deadlocks run(); with it, every peer
+  // unwinds and the error names the failing rank.
+  Cluster cl(8, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 3) throw Error("boom from rank 3");
+    c.barrier();
+  });
+  EXPECT_NE(msg.find("rank 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("boom from rank 3"), std::string::npos) << msg;
+}
+
+TEST(CooperativeAbort, ThrowMidP2pUnwindsBlockedReceiver) {
+  // Rank 0 blocks in a recv whose sender dies first.
+  Cluster cl(2, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 1) throw Error("sender died");
+    double x = 0;
+    c.recv(&x, 1, 1, 0);
+  });
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+}
+
+TEST(CooperativeAbort, AllFailedRanksAreReported) {
+  // Two ranks fail independently; the aggregated error must name both, and
+  // the surviving ranks' stats must still be finalized.
+  Cluster cl(6, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    c.charge_compute(1e6, 0);
+    if (c.rank() == 1) throw Error("first failure");
+    if (c.rank() == 4) throw Error("second failure");
+    c.barrier();
+  });
+  EXPECT_NE(msg.find("2 ranks failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1 failed: first failure"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rank 4 failed: second failure"), std::string::npos)
+      << msg;
+  // Satellite: stats are finalized for every rank even on a failed run.
+  for (int r = 0; r < 6; ++r)
+    EXPECT_GT(cl.stats(r).vtime, 0.0) << "rank " << r;
+}
+
+TEST(CooperativeAbort, SendrecvRingUnwinds) {
+  // One rank of a shift ring dies; everyone else is inside sendrecv.
+  const int P = 6;
+  Cluster cl(P, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [&](Comm& c) {
+    const int me = c.rank();
+    if (me == 2) throw Error("ring rank down");
+    double v = me, got = -1;
+    for (int step = 0; step < P; ++step)
+      c.sendrecv(&v, 1, (me + P - 1) % P, &got, 1, (me + 1) % P, 0);
+  });
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+}
+
+TEST(FaultInjection, KillRankAtNthOpIsCaught) {
+  Cluster cl(4, Machine::unit_test());
+  FaultPlan fp;
+  fp.kills.push_back({.rank = 2, .at_op = 3});
+  cl.set_fault_plan(fp);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    for (int i = 0; i < 10; ++i) c.barrier();
+  });
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fault injection"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("comm op 3"), std::string::npos) << msg;
+
+  // The plan is cleared by attaching an empty one.
+  cl.set_fault_plan(FaultPlan{});
+  cl.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(FaultInjection, StragglerShiftsAggregateVtimeByModeledAmount) {
+  // unit_test machine: 1 rank/node, 1e9 flop/s, zero GEMM overhead. Each
+  // rank runs one local GEMM then a barrier, so the aggregate virtual time
+  // is gemm_time + t_barrier. Straggling rank 1's node by 3x must shift the
+  // aggregate by exactly (3-1) * gemm_time.
+  const double flops = 1e6;
+  const double t_gemm = flops / 1e9;
+  Machine m = Machine::unit_test();
+  auto body = [&](Comm& c) {
+    c.charge_compute(flops, 0);
+    c.barrier();
+  };
+  Cluster cl(2, m);
+  cl.run(body);
+  const double base = cl.aggregate_stats().vtime;
+
+  FaultPlan fp;
+  fp.stragglers.push_back({.node = 1, .factor = 3.0});
+  cl.set_fault_plan(fp);
+  cl.run(body);
+  const double straggled = cl.aggregate_stats().vtime;
+  EXPECT_NEAR(straggled - base, 2.0 * t_gemm, 1e-12);
+  // The non-straggled rank pays the wait inside the barrier: both exit at
+  // the same virtual time.
+  EXPECT_DOUBLE_EQ(cl.stats(0).vtime, cl.stats(1).vtime);
+}
+
+TEST(FaultInjection, PayloadFlipIsCaughtByReceiverValidation) {
+  Cluster cl(2, Machine::unit_test());
+  FaultPlan fp;
+  fp.flips.push_back(
+      {.src = 0, .dst = 1, .tag = 5, .nth_match = 1, .offset = 9, .mask = 0xFF});
+  cl.set_fault_plan(fp);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    std::vector<double> buf(4, 1.25);
+    if (c.rank() == 0) {
+      c.send(buf.data(), 4, 1, 5);
+    } else {
+      c.recv(buf.data(), 4, 0, 5);
+      for (double v : buf)
+        if (v != 1.25) throw Error("corrupted payload detected");
+    }
+  });
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("corrupted payload"), std::string::npos) << msg;
+}
+
+TEST(ConsistencyChecker, MismatchedCollectiveOpIsReported) {
+  Cluster cl(2, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 0) {
+      double x = 0;
+      c.bcast(&x, 1, 0);
+    } else {
+      c.barrier();
+    }
+  });
+  EXPECT_NE(msg.find("mismatched collective"), std::string::npos) << msg;
+}
+
+TEST(ConsistencyChecker, BcastRootMismatchRaisesBeforeCorruption) {
+  Cluster cl(4, Machine::unit_test());
+  cl.set_validation(true);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    double x = c.rank();
+    c.bcast(&x, 1, c.rank() == 0 ? 0 : 1);  // inconsistent root
+  });
+  EXPECT_NE(msg.find("bcast root mismatch"), std::string::npos) << msg;
+}
+
+TEST(ConsistencyChecker, AllgathervCountsMismatchRaisesOnEveryRank) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.set_validation(true);
+  const std::string msg = run_expect_error(cl, [&](Comm& c) {
+    // Rank 2 disagrees about rank 0's contribution.
+    std::vector<i64> counts{8, 8, 8, 8};
+    if (c.rank() == 2) counts[0] = 16;
+    counts[static_cast<size_t>(c.rank())] = 8;
+    double mine = c.rank();
+    std::vector<double> all(static_cast<size_t>(P + 1));
+    c.allgatherv_bytes(&mine, 8, all.data(), counts);
+  });
+  // The rendezvous fails collectively: every member raises the same error.
+  EXPECT_NE(msg.find("4 ranks failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("allgatherv counts mismatch"), std::string::npos) << msg;
+}
+
+TEST(ConsistencyChecker, AllreduceDtypeMismatchDetected) {
+  Cluster cl(2, Machine::unit_test());
+  cl.set_validation(true);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    double s = 1, r = 0;
+    c.allreduce_sum(&s, &r, 1,
+                    c.rank() == 0 ? Dtype::kF64 : Dtype::kF32);
+  });
+  EXPECT_NE(msg.find("dtype mismatch"), std::string::npos) << msg;
+}
+
+TEST(P2PValidation, RecvSizeMismatchIsAnErrorNotAnAbort) {
+  // Satellite: a posted-size mismatch is a user error that must flow
+  // through the cooperative-abort path, not kill the process.
+  Cluster cl(2, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    double x[2] = {1, 2};
+    if (c.rank() == 0)
+      c.send(x, 1, 1, 0);
+    else
+      c.recv(x, 2, 0, 0);
+  });
+  EXPECT_NE(msg.find("recv size mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+}
+
+TEST(Watchdog, TagMismatchBecomesWaitForTable) {
+  // Rank 1 sends tag 7 and finishes; rank 0 waits for tag 999 forever. The
+  // watchdog must convert the hang into a diagnostic naming the stuck op.
+  Cluster cl(2, Machine::unit_test());
+  cl.set_watchdog_interval_ms(20);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 0) {
+      double x = 0;
+      c.recv(&x, 1, 1, 999);
+    } else {
+      double v = 1;
+      c.send(&v, 1, 0, 7);
+    }
+  });
+  EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait-for table"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocked in recv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("tag=999"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("finished"), std::string::npos) << msg;
+}
+
+TEST(Watchdog, SplitCollectiveDeadlockDetected) {
+  // Two ranks each wait on a collective the other will never join: rank 0
+  // runs a barrier on the world communicator while rank 1 runs a barrier on
+  // a subgroup... constructed here as a world barrier only rank 0 enters.
+  Cluster cl(2, Machine::unit_test());
+  cl.set_watchdog_interval_ms(20);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+    } else {
+      double x = 0;
+      c.recv(&x, 1, 0, 0);  // rank 0 never sends
+    }
+  });
+  EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocked in barrier"), std::string::npos) << msg;
+}
+
+TEST(Watchdog, DoesNotFireOnHealthyRuns) {
+  // A run with plenty of blocking communication but steady progress must
+  // never trip the watchdog, even at an aggressive sampling interval.
+  const int P = 8;
+  Cluster cl(P, Machine::unit_test());
+  cl.set_watchdog_interval_ms(1);
+  cl.run([&](Comm& c) {
+    for (int i = 0; i < 200; ++i) {
+      const int me = c.rank();
+      double v = me, got = -1;
+      c.sendrecv(&v, 1, (me + P - 1) % P, &got, 1, (me + 1) % P, 0);
+      c.barrier();
+    }
+  });
+}
+
+TEST(CoreValidation, BadPlanDimensionsRaiseError) {
+  EXPECT_THROW(Ca3dmmPlan::make(0, 5, 5, 4), Error);
+  EXPECT_THROW(Ca3dmmPlan::make(5, -1, 5, 4), Error);
+  EXPECT_THROW(Ca3dmmPlan::make(5, 5, 5, 0), Error);
+  Ca3dmmOptions opt;
+  opt.min_kblk = -1;
+  EXPECT_THROW(Ca3dmmPlan::make(5, 5, 5, 4, opt), Error);
+}
+
+TEST(CoreValidation, LayoutMismatchRaisesCollectivelyNotHang) {
+  // Every rank passes the same bad C layout to pgemm: each raises the same
+  // Error before any communication, so the run fails with all ranks
+  // attributed instead of diverging into a hang.
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  const std::string msg = run_expect_error(cl, [&](Comm& world) {
+    Ca3dmmPlan plan = Ca3dmmPlan::make(8, 8, 8, P);
+    BlockLayout a = plan.a_native();
+    BlockLayout b = plan.b_native();
+    BlockLayout c_bad(9, 8, P);  // wrong shape on every rank
+    std::vector<double> al(static_cast<size_t>(a.local_size(world.rank())));
+    std::vector<double> bl(static_cast<size_t>(b.local_size(world.rank())));
+    std::vector<double> cb(static_cast<size_t>(c_bad.local_size(world.rank())));
+    ca3dmm_multiply<double>(world, plan, false, false, a, al.data(), b,
+                            bl.data(), c_bad, cb.data());
+  });
+  EXPECT_NE(msg.find("4 ranks failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("C layout"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi

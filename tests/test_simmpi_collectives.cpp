@@ -211,5 +211,117 @@ TEST(Collectives, BarrierCompletes) {
   });
 }
 
+// ---- edge cases: empty payloads, degenerate splits, singleton groups ----
+
+TEST(CollectivesEdge, ZeroByteBcast) {
+  Cluster cl(4, Machine::unit_test());
+  cl.run([](Comm& c) {
+    c.bcast_bytes(nullptr, 0, 2);
+    EXPECT_GE(c.last_op_cost(), 0.0);
+  });
+}
+
+TEST(CollectivesEdge, ZeroByteAllgather) {
+  Cluster cl(4, Machine::unit_test());
+  cl.run([](Comm& c) { c.allgather_bytes(nullptr, 0, nullptr); });
+}
+
+TEST(CollectivesEdge, ZeroCountAllreduce) {
+  Cluster cl(3, Machine::unit_test());
+  cl.run([](Comm& c) {
+    c.allreduce_sum(nullptr, nullptr, 0, Dtype::kF64);
+  });
+}
+
+TEST(CollectivesEdge, AlltoallvZeroCountsForSomePeers) {
+  // Rank r sends one double to rank 0 only; everyone else's exchange with r
+  // is empty. Rank 0 must receive P values, the others nothing.
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    const int me = c.rank();
+    const double mine = 100.0 + me;
+    std::vector<i64> scounts(static_cast<size_t>(P), 0);
+    std::vector<i64> sdispls(static_cast<size_t>(P), 0);
+    std::vector<i64> rcounts(static_cast<size_t>(P), 0);
+    std::vector<i64> rdispls(static_cast<size_t>(P), 0);
+    scounts[0] = sizeof(double);
+    if (me == 0)
+      for (int s = 0; s < P; ++s) {
+        rcounts[static_cast<size_t>(s)] = sizeof(double);
+        rdispls[static_cast<size_t>(s)] = static_cast<i64>(s * sizeof(double));
+      }
+    std::vector<double> rbuf(static_cast<size_t>(P), -1.0);
+    c.alltoallv_bytes(&mine, scounts, sdispls, rbuf.data(), rcounts, rdispls);
+    if (me == 0)
+      for (int s = 0; s < P; ++s)
+        EXPECT_DOUBLE_EQ(rbuf[static_cast<size_t>(s)], 100.0 + s);
+    else
+      for (double v : rbuf) EXPECT_DOUBLE_EQ(v, -1.0);
+  });
+}
+
+TEST(CollectivesEdge, SplitAllNegativeColors) {
+  // Every rank passes MPI_UNDEFINED: all get an invalid communicator and
+  // the world communicator stays usable.
+  const int P = 5;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([](Comm& c) {
+    Comm sub = c.split(-1, c.rank());
+    EXPECT_FALSE(sub.valid());
+    c.barrier();
+  });
+}
+
+TEST(CollectivesEdge, SingleRankCommunicatorAllCollectives) {
+  // Each rank splits into its own singleton group and runs every collective
+  // on it; all must complete and behave as identities.
+  const int P = 3;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& c) {
+    Comm solo = c.split(c.rank(), 0);
+    ASSERT_TRUE(solo.valid());
+    ASSERT_EQ(solo.size(), 1);
+    solo.barrier();
+    double x = 7.5;
+    solo.bcast(&x, 1, 0);
+    EXPECT_DOUBLE_EQ(x, 7.5);
+    double g = -1;
+    solo.allgather(&x, 1, &g);
+    EXPECT_DOUBLE_EQ(g, 7.5);
+    const std::vector<i64> counts{static_cast<i64>(sizeof(double))};
+    double gv = -1;
+    solo.allgatherv_bytes(&x, static_cast<i64>(sizeof(double)), &gv, counts);
+    EXPECT_DOUBLE_EQ(gv, 7.5);
+    const std::vector<i64> rs_counts{2};
+    const double sb[2] = {1.5, 2.5};
+    double rb[2] = {-1, -1};
+    solo.reduce_scatter(sb, rb, rs_counts);
+    EXPECT_DOUBLE_EQ(rb[0], 1.5);
+    EXPECT_DOUBLE_EQ(rb[1], 2.5);
+    double ar = -1;
+    solo.allreduce(&x, &ar, 1);
+    EXPECT_DOUBLE_EQ(ar, 7.5);
+    const std::vector<i64> one{static_cast<i64>(sizeof(double))};
+    const std::vector<i64> zero_d{0};
+    double a2a = -1;
+    solo.alltoallv_bytes(&x, one, zero_d, &a2a, one, zero_d);
+    EXPECT_DOUBLE_EQ(a2a, 7.5);
+    Comm sub = solo.split(0, 0);
+    EXPECT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 1);
+  });
+}
+
+TEST(CollectivesEdge, SingleRankCluster) {
+  Cluster cl(1, Machine::unit_test());
+  cl.run([](Comm& c) {
+    c.barrier();
+    double x = 3.0, r = 0.0;
+    c.allreduce(&x, &r, 1);
+    EXPECT_DOUBLE_EQ(r, 3.0);
+  });
+}
+
 }  // namespace
 }  // namespace ca3dmm::simmpi
