@@ -53,16 +53,6 @@ void print_paper_scale() {
       "the unified-view premise of the paper.\n");
 }
 
-void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
-                std::vector<double>& buf) {
-  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
-  i64 pos = 0;
-  for (const Rect& r : layout.rects_of(rank))
-    for (i64 i = r.r.lo; i < r.r.hi; ++i)
-      for (i64 j = r.c.lo; j < r.c.hi; ++j)
-        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
-}
-
 /// Runs one algorithm end to end on the engine; returns simulated seconds.
 template <typename Fn>
 double run_engine(i64 m, i64 n, i64 k, int P, const Machine& mach, Fn&& fn) {

@@ -16,9 +16,23 @@
 
 #include "common/table.hpp"
 #include "costmodel/model.hpp"
+#include "layout/block_layout.hpp"
+#include "linalg/matrix.hpp"
 #include "simmpi/machine.hpp"
 
 namespace ca3dmm::bench {
+
+/// Fills this rank's local buffer under `layout` from the virtual global
+/// random matrix `seed` (the same generator the tests validate against).
+inline void fill_local(const BlockLayout& layout, int rank,
+                       std::uint64_t seed, std::vector<double>& buf) {
+  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j)
+        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+}
 
 /// The four problem classes of §IV-A (dimensions in elements).
 struct ProblemClass {

@@ -8,8 +8,11 @@
 // performance check of the local GEMM kernel.
 #include "bench_common.hpp"
 
+#include <cstdio>
+
 #include "baselines/ctf_like.hpp"
 #include "core/ca3dmm.hpp"
+#include "engine/engine.hpp"
 #include "linalg/gemm.hpp"
 #include "simmpi/cluster.hpp"
 
@@ -33,16 +36,6 @@ std::vector<SmallClass> small_classes() {
       {"large-M", 3072, 48, 48},
       {"flat", 384, 384, 24},
   };
-}
-
-void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
-                std::vector<double>& buf) {
-  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
-  i64 pos = 0;
-  for (const Rect& r : layout.rects_of(rank))
-    for (i64 i = r.r.lo; i < r.r.hi; ++i)
-      for (i64 j = r.c.lo; j < r.c.hi; ++j)
-        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
 }
 
 /// Runs one algorithm on the engine; returns max simulated seconds.
@@ -83,6 +76,140 @@ double run_engine(Algo algo, const SmallClass& sc, int P,
   return cl.aggregate_stats().vtime;
 }
 
+/// One row of the iterative engine-vs-one-shot comparison (ISSUE acceptance
+/// workload: `iters` same-shape multiplies per problem class).
+struct EngineRow {
+  const char* name;
+  i64 m, n, k;
+  double oneshot_s = 0;   ///< total simulated seconds, one-shot loop
+  double engine_s = 0;    ///< total simulated seconds, engine loop
+  double hit_rate = 0;    ///< plan-cache hit rate of the engine run
+  i64 splits_saved = 0;   ///< rank-0 communicator splits avoided
+  i64 peak_bytes = 0;     ///< max per-rank peak tracked bytes (engine run)
+  i64 peak_bytes_oneshot = 0;
+  double pool_hit_rate = 0;
+};
+
+/// Runs `iters` identical multiplies through the one-shot path and through
+/// a persistent engine; fills the comparison row.
+EngineRow run_iterative(const SmallClass& sc, int P, int iters,
+                        const Machine& mach) {
+  EngineRow row{sc.name, sc.m, sc.n, sc.k};
+  const BlockLayout a_lay = BlockLayout::col_1d(sc.m, sc.k, P);
+  const BlockLayout b_lay = BlockLayout::col_1d(sc.k, sc.n, P);
+  const BlockLayout c_lay = BlockLayout::col_1d(sc.m, sc.n, P);
+
+  {
+    Cluster cl(P, mach);
+    const Ca3dmmPlan plan = Ca3dmmPlan::make(sc.m, sc.n, sc.k, P);
+    cl.run([&](Comm& world) {
+      std::vector<double> a, b;
+      fill_local(a_lay, world.rank(), 5, a);
+      fill_local(b_lay, world.rank(), 6, b);
+      std::vector<double> c(
+          static_cast<size_t>(c_lay.local_size(world.rank())));
+      for (int t = 0; t < iters; ++t)
+        ca3dmm_multiply<double>(world, plan, false, false, a_lay, a.data(),
+                                b_lay, b.data(), c_lay, c.data());
+    });
+    row.oneshot_s = cl.aggregate_stats().vtime;
+    row.peak_bytes_oneshot = cl.aggregate_stats().peak_bytes;
+  }
+  {
+    Cluster cl(P, mach);
+    engine::EngineStats st;
+    cl.run([&](Comm& world) {
+      std::vector<double> a, b;
+      fill_local(a_lay, world.rank(), 5, a);
+      fill_local(b_lay, world.rank(), 6, b);
+      std::vector<double> c(
+          static_cast<size_t>(c_lay.local_size(world.rank())));
+      engine::PgemmEngine eng(world);
+      engine::Request<double> req;
+      req.m = sc.m;
+      req.n = sc.n;
+      req.k = sc.k;
+      req.a_layout = &a_lay;
+      req.a = a.data();
+      req.b_layout = &b_lay;
+      req.b = b.data();
+      req.c_layout = &c_lay;
+      req.c = c.data();
+      std::vector<engine::Request<double>> batch(
+          static_cast<size_t>(iters), req);
+      eng.submit(batch);
+      if (world.rank() == 0) st = eng.stats();
+    });
+    row.engine_s = cl.aggregate_stats().vtime;
+    row.peak_bytes = cl.aggregate_stats().peak_bytes;
+    row.hit_rate = st.plan_hit_rate();
+    row.splits_saved = st.splits_saved;
+    row.pool_hit_rate = st.pool.hit_rate();
+  }
+  return row;
+}
+
+/// Emits the machine-readable summary consumed by CI and the paper harness.
+void write_engine_json(const std::vector<EngineRow>& rows, int P, int iters,
+                       const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_iterative\",\n");
+  std::fprintf(f, "  \"P\": %d,\n  \"iters\": %d,\n  \"classes\": [\n", P,
+               iters);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"class\": \"%s\", \"m\": %lld, \"n\": %lld, "
+                 "\"k\": %lld,\n"
+                 "     \"oneshot_sim_s\": %.9f, \"engine_sim_s\": %.9f,\n"
+                 "     \"plan_cache_hit_rate\": %.4f, "
+                 "\"splits_saved_rank0\": %lld,\n"
+                 "     \"peak_bytes\": %lld, \"peak_bytes_oneshot\": %lld,\n"
+                 "     \"pool_hit_rate\": %.4f}%s\n",
+                 r.name, (long long)r.m, (long long)r.n, (long long)r.k,
+                 r.oneshot_s, r.engine_s, r.hit_rate,
+                 (long long)r.splits_saved, (long long)r.peak_bytes,
+                 (long long)r.peak_bytes_oneshot, r.pool_hit_rate,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+void print_engine_iterative() {
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 4;
+  mach.cores_per_node = 4;
+  const int P = 16, iters = 10;
+  std::printf(
+      "\n=== Persistent engine vs one-shot: %d same-shape multiplies, P=%d "
+      "===\n",
+      iters, P);
+  TextTable t({"class", "one-shot ms", "engine ms", "saved", "plan hits",
+               "peak MiB (engine/one-shot)"});
+  std::vector<EngineRow> rows;
+  for (const SmallClass& sc : small_classes()) {
+    EngineRow r = run_iterative(sc, P, iters, mach);
+    t.add_row({r.name, strprintf("%.3f", r.oneshot_s * 1e3),
+               strprintf("%.3f", r.engine_s * 1e3),
+               strprintf("%.1f%%", (1 - r.engine_s / r.oneshot_s) * 100),
+               strprintf("%.0f%%", r.hit_rate * 100),
+               strprintf("%.2f / %.2f", r.peak_bytes / 1048576.0,
+                         r.peak_bytes_oneshot / 1048576.0)});
+    rows.push_back(r);
+  }
+  t.print();
+  std::printf(
+      "(plan + communicator splits amortized over the batch; peak memory "
+      "unchanged)\n");
+  write_engine_json(rows, P, iters, "BENCH_engine.json");
+}
+
 void print_tables() {
   Machine mach = Machine::phoenix_mpi();
   mach.ranks_per_node = 4;  // 16 ranks span 4 simulated nodes
@@ -106,6 +233,7 @@ void print_tables() {
   }
   t.print();
   std::printf("\n(simulated milliseconds; CTF includes its remapping pass)\n");
+  print_engine_iterative();
 }
 
 void register_benchmarks() {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/ca3dmm.hpp"
+#include "engine/engine.hpp"
 #include "linalg/matrix.hpp"
 #include "simmpi/cluster.hpp"
 
@@ -97,11 +98,25 @@ int main() {
         a[static_cast<size_t>((i - rows.lo) * n + j)] =
             matrix_entry<double>(9, i, j) + (j == i % n ? 2.0 : 0.0);
 
+    // Both Gram-type products (G = A^T A here, Q^T Q below) share one shape,
+    // so the second engine request reuses the first one's plan and
+    // communicators.
+    engine::PgemmEngine eng(world);
+    engine::Request<double> gram;
+    gram.m = n;
+    gram.n = n;
+    gram.k = m;
+    gram.trans_a = true;
+    gram.a_layout = &a_layout;
+    gram.a = a.data();
+    gram.b_layout = &a_layout;
+    gram.b = a.data();
+    gram.c_layout = &g_layout;
+
     // G = A^T * A, gathered to rank 0 then broadcast (G is tiny).
     std::vector<double> g(static_cast<size_t>(g_layout.local_size(me)));
-    ca3dmm_multiply<double>(world, plan, /*trans_a=*/true, /*trans_b=*/false,
-                            a_layout, a.data(), a_layout, a.data(), g_layout,
-                            g.data());
+    gram.c = g.data();
+    eng.multiply(gram);
     std::vector<double> r(static_cast<size_t>(n * n));
     if (me == 0) r = g;
     world.bcast(r.data(), n * n, 0);
@@ -112,10 +127,10 @@ int main() {
     for (i64 i = 0; i < rows.size(); ++i)
       trsm_row(r, n, a.data() + i * n);
 
-    // Verify: Q^T Q = I via a second large-K PGEMM.
+    // Verify: Q^T Q = I via a second large-K PGEMM — a plan-cache hit.
     std::vector<double> qtq(static_cast<size_t>(g_layout.local_size(me)));
-    ca3dmm_multiply<double>(world, plan, true, false, a_layout, a.data(),
-                            a_layout, a.data(), g_layout, qtq.data());
+    gram.c = qtq.data();
+    eng.multiply(gram);
     if (me == 0) {
       double e2 = 0;
       for (i64 i = 0; i < n; ++i)

@@ -31,14 +31,16 @@ void assemble_a_block(const T* gathered, i64 mb,
   }
 }
 
-}  // namespace
-
+/// Algorithm-1 execution body. When `cached` is non-null its pre-split
+/// communicators are used and no split cost is charged; when null, every
+/// split happens at the same program point as always (so one-shot virtual
+/// times are unchanged and the cost model stays pinned to the engine).
 template <typename T>
-void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
-                     bool trans_b, const BlockLayout& a_layout,
-                     const T* a_local, const BlockLayout& b_layout,
-                     const T* b_local, const BlockLayout& c_layout, T* c_local,
-                     const Ca3dmmOptions& opt) {
+void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
+                    bool trans_a, bool trans_b, const BlockLayout& a_layout,
+                    const T* a_local, const BlockLayout& b_layout,
+                    const T* b_local, const BlockLayout& c_layout,
+                    T* c_local) {
   // Precondition validation. Every check below depends only on arguments
   // that MPI semantics require to be identical on all ranks (or on this
   // rank's own buffers), and runs before any communication: a bad input
@@ -73,6 +75,7 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
              static_cast<long long>(b_layout.rows()),
              static_cast<long long>(b_layout.cols()),
              static_cast<long long>(k), static_cast<long long>(n));
+  const Ca3dmmOptions& opt = plan.options();
   CA_REQUIRE(opt.min_kblk >= 0,
              "min_kblk must be >= 0 (0 = one GEMM per shift), got %lld",
              static_cast<long long>(opt.min_kblk));
@@ -92,6 +95,16 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
              me, static_cast<long long>(c_layout.local_size(me)));
   const RankCoord co = plan.coord(me);
   const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
+  if (cached) {
+    CA_REQUIRE(co.active == cached->active.valid(),
+               "rank %d: cached communicators do not match the plan "
+               "(active comm %s but rank is %s)",
+               me, cached->active.valid() ? "valid" : "invalid",
+               co.active ? "active" : "idle");
+    CA_REQUIRE(!co.active || cached->cannon.size() == s * s,
+               "rank %d: cached Cannon comm has %d ranks, plan needs %d",
+               me, cached->cannon.valid() ? cached->cannon.size() : 0, s * s);
+  }
 
   const BlockLayout a_native = plan.a_native();
   const BlockLayout b_native = plan.b_native();
@@ -110,7 +123,9 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
 
   // Communicator splits. Colors are disjoint per split call; inactive ranks
   // pass color -1 (undefined).
-  Comm active = world.split(co.active ? 0 : -1, me);
+  Comm active_local;
+  if (!cached) active_local = world.split(co.active ? 0 : -1, me);
+  Comm& active = cached ? cached->active : active_local;
 
   TrackedBuffer<T> c_result;  // my final C block (c_native local data)
 
@@ -127,7 +142,9 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
     for (int t = 0; t < s; ++t)
       sh.kpart_sizes.push_back(plan.kpart(co.gk, t).size());
 
-    Comm cannon = active.split(co.gk * c + co.gc, co.j * s + co.i);
+    Comm cannon_local;
+    if (!cached) cannon_local = active.split(co.gk * c + co.gc, co.j * s + co.i);
+    Comm& cannon = cached ? cached->cannon : cannon_local;
     CA_ASSERT(cannon.size() == s * s);
 
     // ---- step 5: replicate A or B across the c Cannon groups ----
@@ -135,7 +152,10 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
     const T* a_ptr = a_init.data();
     const T* b_ptr = b_init.data();
     if (c > 1) {
-      Comm repl = active.split(co.gk * s * s + co.j * s + co.i, co.gc);
+      Comm repl_local;
+      if (!cached)
+        repl_local = active.split(co.gk * s * s + co.j * s + co.i, co.gc);
+      Comm& repl = cached ? cached->repl : repl_local;
       CA_ASSERT(repl.size() == c);
       PhaseScope ps(world, Phase::kReplicate);
       if (plan.replicates_a()) {
@@ -190,7 +210,10 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
 
     // ---- step 7: reduce-scatter partial C across the pk k-task groups ----
     if (pk > 1) {
-      Comm reduce = active.split((co.gc * s + co.j) * s + co.i, co.gk);
+      Comm reduce_local;
+      if (!cached)
+        reduce_local = active.split((co.gc * s + co.j) * s + co.i, co.gk);
+      Comm& reduce = cached ? cached->reduce : reduce_local;
       CA_ASSERT(reduce.size() == pk);
       PhaseScope ps(world, Phase::kReduce);
       // Pack column sub-blocks in destination (gk) order.
@@ -228,15 +251,68 @@ void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
   }
 }
 
+}  // namespace
+
+PlanComms PlanComms::make(Comm& world, const Ca3dmmPlan& plan) {
+  CA_REQUIRE(world.valid(), "PlanComms::make needs a valid communicator");
+  CA_REQUIRE(world.size() == plan.nranks(),
+             "plan is for %d ranks, comm has %d", plan.nranks(), world.size());
+  CA_REQUIRE(plan.m() > 0, "plan is empty (default-constructed?)");
+  const int me = world.rank();
+  const RankCoord co = plan.coord(me);
+  const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
+  PlanComms pc;
+  pc.active = world.split(co.active ? 0 : -1, me);
+  if (!co.active) return pc;
+  pc.cannon = pc.active.split(co.gk * c + co.gc, co.j * s + co.i);
+  CA_ASSERT(pc.cannon.size() == s * s);
+  if (c > 1) {
+    pc.repl = pc.active.split(co.gk * s * s + co.j * s + co.i, co.gc);
+    CA_ASSERT(pc.repl.size() == c);
+  }
+  if (pk > 1) {
+    pc.reduce = pc.active.split((co.gc * s + co.j) * s + co.i, co.gk);
+    CA_ASSERT(pc.reduce.size() == pk);
+  }
+  return pc;
+}
+
+template <typename T>
+void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, bool trans_a,
+                     bool trans_b, const BlockLayout& a_layout,
+                     const T* a_local, const BlockLayout& b_layout,
+                     const T* b_local, const BlockLayout& c_layout,
+                     T* c_local) {
+  ca3dmm_execute<T>(world, plan, nullptr, trans_a, trans_b, a_layout, a_local,
+                    b_layout, b_local, c_layout, c_local);
+}
+
+template <typename T>
+void ca3dmm_multiply(Comm& world, const Ca3dmmPlan& plan, PlanComms& comms,
+                     bool trans_a, bool trans_b, const BlockLayout& a_layout,
+                     const T* a_local, const BlockLayout& b_layout,
+                     const T* b_local, const BlockLayout& c_layout,
+                     T* c_local) {
+  ca3dmm_execute<T>(world, plan, &comms, trans_a, trans_b, a_layout, a_local,
+                    b_layout, b_local, c_layout, c_local);
+}
+
 template void ca3dmm_multiply<float>(Comm&, const Ca3dmmPlan&, bool, bool,
                                      const BlockLayout&, const float*,
                                      const BlockLayout&, const float*,
-                                     const BlockLayout&, float*,
-                                     const Ca3dmmOptions&);
+                                     const BlockLayout&, float*);
 template void ca3dmm_multiply<double>(Comm&, const Ca3dmmPlan&, bool, bool,
                                       const BlockLayout&, const double*,
                                       const BlockLayout&, const double*,
-                                      const BlockLayout&, double*,
-                                      const Ca3dmmOptions&);
+                                      const BlockLayout&, double*);
+template void ca3dmm_multiply<float>(Comm&, const Ca3dmmPlan&, PlanComms&,
+                                     bool, bool, const BlockLayout&,
+                                     const float*, const BlockLayout&,
+                                     const float*, const BlockLayout&, float*);
+template void ca3dmm_multiply<double>(Comm&, const Ca3dmmPlan&, PlanComms&,
+                                      bool, bool, const BlockLayout&,
+                                      const double*, const BlockLayout&,
+                                      const double*, const BlockLayout&,
+                                      double*);
 
 }  // namespace ca3dmm

@@ -14,6 +14,17 @@
 // All steps run on a simmpi communicator and charge virtual time per phase;
 // work buffers are TrackedBuffers, so per-rank peak memory matches what the
 // paper's Table I measures.
+//
+// Execution options (inner engine, multi-shift aggregation) are read from
+// the plan itself (Ca3dmmPlan::options()): a plan can never be executed with
+// options other than the ones that shaped its grid.
+//
+// Two execution modes:
+//   * one-shot ca3dmm_multiply — splits the per-plan communicators on every
+//     call (the historical behavior);
+//   * ca3dmm_multiply with a PlanComms — reuses communicators split once by
+//     PlanComms::make, eliminating the per-call split latency. This is the
+//     building block of the persistent engine (src/engine).
 #pragma once
 
 #include "core/engine2d.hpp"
@@ -22,6 +33,28 @@
 #include "simmpi/comm.hpp"
 
 namespace ca3dmm {
+
+/// The split communicators one plan's execution uses, created once and
+/// reusable across any number of multiplications with that plan.
+///
+/// Per-rank contents (world rank `r`, coordinate co = plan.coord(r)):
+///   * active — the plan.active() working ranks (invalid on idle ranks),
+///   * cannon — co's s x s Cannon group (invalid on idle ranks),
+///   * repl   — the c replication peers sharing co's (gk, i, j) across
+///              Cannon groups (valid only when plan.c() > 1),
+///   * reduce — the pk k-task peers sharing co's (gc, i, j) (valid only
+///              when plan.grid().pk > 1).
+struct PlanComms {
+  simmpi::Comm active;
+  simmpi::Comm cannon;
+  simmpi::Comm repl;
+  simmpi::Comm reduce;
+
+  /// Splits all communicators for `plan`. Collective over `world`, which
+  /// must span exactly plan.nranks() ranks. Charges the split setup cost
+  /// once; executions through the returned object charge none.
+  static PlanComms make(simmpi::Comm& world, const Ca3dmmPlan& plan);
+};
 
 /// Computes C = op(A) x op(B) with op fixed by trans_a / trans_b.
 ///
@@ -40,10 +73,19 @@ template <typename T>
 void ca3dmm_multiply(simmpi::Comm& world, const Ca3dmmPlan& plan, bool trans_a,
                      bool trans_b, const BlockLayout& a_layout,
                      const T* a_local, const BlockLayout& b_layout,
-                     const T* b_local, const BlockLayout& c_layout, T* c_local,
-                     const Ca3dmmOptions& opt = {});
+                     const T* b_local, const BlockLayout& c_layout, T* c_local);
 
-/// Convenience wrapper: plans with default options and multiplies.
+/// Same computation executed over pre-split communicators (`comms` from
+/// PlanComms::make with the same plan): no split latency is charged. Results
+/// are bit-identical to the one-shot overload.
+template <typename T>
+void ca3dmm_multiply(simmpi::Comm& world, const Ca3dmmPlan& plan,
+                     PlanComms& comms, bool trans_a, bool trans_b,
+                     const BlockLayout& a_layout, const T* a_local,
+                     const BlockLayout& b_layout, const T* b_local,
+                     const BlockLayout& c_layout, T* c_local);
+
+/// Convenience wrapper: plans with `opt` and multiplies.
 template <typename T>
 Ca3dmmPlan ca3dmm_multiply(simmpi::Comm& world, i64 m, i64 n, i64 k,
                            bool trans_a, bool trans_b,
@@ -53,7 +95,7 @@ Ca3dmmPlan ca3dmm_multiply(simmpi::Comm& world, i64 m, i64 n, i64 k,
                            const Ca3dmmOptions& opt = {}) {
   Ca3dmmPlan plan = Ca3dmmPlan::make(m, n, k, world.size(), opt);
   ca3dmm_multiply<T>(world, plan, trans_a, trans_b, a_layout, a_local,
-                     b_layout, b_local, c_layout, c_local, opt);
+                     b_layout, b_local, c_layout, c_local);
   return plan;
 }
 

@@ -67,6 +67,8 @@ struct GridOptions {
   /// the midpoint and roughly the flops-per-transferred-element balance of
   /// the paper's testbed.
   double flop_word_ratio = 100.0;
+
+  friend bool operator==(const GridOptions&, const GridOptions&) = default;
 };
 
 /// The solver's objective for one grid: estimated per-process cost in flop

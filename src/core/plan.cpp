@@ -19,6 +19,7 @@ Ca3dmmPlan Ca3dmmPlan::make(i64 m, i64 n, i64 k, int nranks,
   p.n_ = n;
   p.k_ = k;
   p.nranks_ = nranks;
+  p.opt_ = opt;
   if (opt.force_grid.has_value()) {
     p.grid_ = *opt.force_grid;
     CA_REQUIRE(p.grid_.pm >= 1 && p.grid_.pn >= 1 && p.grid_.pk >= 1,

@@ -46,6 +46,11 @@ struct Ca3dmmOptions {
   i64 min_kblk = 192;
   /// Overrides the solver's grid (Table II experiments).
   std::optional<ProcGrid> force_grid{};
+
+  /// Member-wise equality: plans built from equal options on equal problem
+  /// dimensions are interchangeable, which is what the engine's plan cache
+  /// keys on.
+  friend bool operator==(const Ca3dmmOptions&, const Ca3dmmOptions&) = default;
 };
 
 /// Placement of one world rank in the CA3DMM topology.
@@ -67,6 +72,10 @@ class Ca3dmmPlan {
   i64 n() const { return n_; }
   i64 k() const { return k_; }
   int nranks() const { return nranks_; }
+  /// The options this plan was built with. Execution reads them from here
+  /// (use_summa, min_kblk), so a plan can never be run with options other
+  /// than the ones that shaped its grid.
+  const Ca3dmmOptions& options() const { return opt_; }
   const ProcGrid& grid() const { return grid_; }
   int active() const { return grid_.active(); }
   int c() const { return grid_.c(); }
@@ -109,6 +118,7 @@ class Ca3dmmPlan {
  private:
   i64 m_ = 0, n_ = 0, k_ = 0;
   int nranks_ = 0;
+  Ca3dmmOptions opt_{};
   ProcGrid grid_;
 };
 

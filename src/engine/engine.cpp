@@ -1,0 +1,146 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace ca3dmm::engine {
+
+using simmpi::Comm;
+using simmpi::PoolScope;
+
+namespace {
+
+size_t mix(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+size_t PgemmEngine::PlanKeyHash::operator()(const PlanKey& key) const {
+  size_t h = std::hash<i64>{}(key.m);
+  h = mix(h, std::hash<i64>{}(key.n));
+  h = mix(h, std::hash<i64>{}(key.k));
+  h = mix(h, std::hash<int>{}(key.nranks));
+  const Ca3dmmOptions& o = key.opt;
+  h = mix(h, std::hash<bool>{}(o.use_summa));
+  h = mix(h, std::hash<i64>{}(o.min_kblk));
+  h = mix(h, std::hash<double>{}(o.grid.l));
+  h = mix(h, std::hash<bool>{}(o.grid.cannon_compatible));
+  h = mix(h, std::hash<i64>{}(o.grid.max_memory_elems));
+  h = mix(h, std::hash<double>{}(o.grid.flop_word_ratio));
+  if (o.force_grid) {
+    h = mix(h, std::hash<int>{}(o.force_grid->pm));
+    h = mix(h, std::hash<int>{}(o.force_grid->pn));
+    h = mix(h, std::hash<int>{}(o.force_grid->pk));
+  }
+  return h;
+}
+
+PgemmEngine::PgemmEngine(Comm& world, EngineConfig cfg)
+    : world_(world.dup()), cfg_(cfg), pool_(cfg.pool_max_idle_bytes) {
+  CA_REQUIRE(world_.valid(), "PgemmEngine needs a valid communicator");
+  CA_REQUIRE(cfg_.plan_cache_capacity >= 1,
+             "plan_cache_capacity must be >= 1, got %zu",
+             cfg_.plan_cache_capacity);
+}
+
+PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.plan_hits;
+    stats_.splits_saved += lru_.front().splits_per_call;
+    return lru_.front();
+  }
+  // Miss: plan and split the communicators (collective — every rank misses
+  // on the same request of the same stream).
+  ++stats_.plan_misses;
+  Entry e;
+  e.key = key;
+  e.plan = Ca3dmmPlan::make(key.m, key.n, key.k, key.nranks, key.opt);
+  e.comms = PlanComms::make(world_, e.plan);
+  const RankCoord co = e.plan.coord(world_.rank());
+  e.splits_per_call =
+      1 + (co.active ? 1 + (e.plan.c() > 1 ? 1 : 0) +
+                           (e.plan.grid().pk > 1 ? 1 : 0)
+                     : 0);
+  lru_.push_front(std::move(e));
+  index_[lru_.front().key] = lru_.begin();
+  while (lru_.size() > cfg_.plan_cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.plan_evictions;
+  }
+  return lru_.front();
+}
+
+const Ca3dmmPlan& PgemmEngine::plan_for(i64 m, i64 n, i64 k,
+                                        const Ca3dmmOptions& opt) {
+  return lookup(PlanKey{m, n, k, world_.size(), opt}).plan;
+}
+
+EngineStats PgemmEngine::stats() const {
+  EngineStats s = stats_;
+  s.pool = pool_.stats();
+  return s;
+}
+
+void PgemmEngine::clear() {
+  lru_.clear();
+  index_.clear();
+  pool_.trim();
+}
+
+template <typename T>
+PgemmEngine::PlanKey PgemmEngine::key_of(const Request<T>& req) const {
+  return PlanKey{req.m, req.n, req.k, world_.size(), req.opt};
+}
+
+template <typename T>
+void PgemmEngine::execute(Entry& entry, const Request<T>& req) {
+  CA_REQUIRE(req.a_layout != nullptr && req.b_layout != nullptr &&
+                 req.c_layout != nullptr,
+             "engine request needs all three layouts set");
+  // All work buffers of the whole call tree (driver, 2-D engine,
+  // redistribution) draw from the engine's pool while this scope is active.
+  PoolScope scope(&pool_);
+  ca3dmm_multiply<T>(world_, entry.plan, entry.comms, req.trans_a,
+                     req.trans_b, *req.a_layout, req.a, *req.b_layout, req.b,
+                     *req.c_layout, req.c);
+  ++stats_.requests;
+}
+
+template <typename T>
+void PgemmEngine::multiply(const Request<T>& req) {
+  execute(lookup(key_of(req)), req);
+}
+
+template <typename T>
+void PgemmEngine::submit(const std::vector<Request<T>>& batch) {
+  ++stats_.batches;
+  // Group same-plan requests, preserving the order groups first appear in;
+  // a group's requests then run back-to-back on one cached plan, so an
+  // interleaved shape stream costs at most one miss per distinct shape
+  // instead of thrashing the LRU.
+  std::vector<std::pair<PlanKey, std::vector<const Request<T>*>>> groups;
+  for (const Request<T>& r : batch) {
+    const PlanKey key = key_of(r);
+    auto git = std::find_if(groups.begin(), groups.end(),
+                            [&](const auto& g) { return g.first == key; });
+    if (git == groups.end()) {
+      groups.emplace_back(key, std::vector<const Request<T>*>{});
+      git = std::prev(groups.end());
+    }
+    git->second.push_back(&r);
+  }
+  for (const auto& [key, reqs] : groups)
+    for (const Request<T>* r : reqs) execute(lookup(key), *r);
+}
+
+template void PgemmEngine::multiply<float>(const Request<float>&);
+template void PgemmEngine::multiply<double>(const Request<double>&);
+template void PgemmEngine::submit<float>(const std::vector<Request<float>>&);
+template void PgemmEngine::submit<double>(
+    const std::vector<Request<double>>&);
+
+}  // namespace ca3dmm::engine

@@ -1,0 +1,168 @@
+// Persistent PGEMM engine: executes a stream of multiply requests on one
+// long-lived communicator, amortizing per-call setup the way a serving
+// system must.
+//
+// One-shot ca3dmm_multiply rebuilds everything per call: the plan (grid
+// solving), the split communicators (k-task / Cannon / replication /
+// reduction groups — four collective splits that each charge latency to
+// every rank), and all work buffers. Iterative workloads (density-matrix
+// purification, CholeskyQR iteration — the paper's §V motivation) issue
+// dozens of identically-shaped multiplications, so a PgemmEngine keeps:
+//
+//   * a plan cache   — LRU over (m, n, k, P, Ca3dmmOptions), with hit /
+//                      miss / eviction counters. The element type is NOT
+//                      part of the key: float and double requests of one
+//                      shape share a plan (and its communicators).
+//   * a comm cache   — each cached plan carries its PlanComms, split once
+//                      on the miss and reused by every subsequent call, so
+//                      repeated multiplies charge zero split latency.
+//   * a buffer pool  — released TrackedBuffer allocations are parked on
+//                      exact-size free lists and reused; pooled memory is
+//                      tracked only while checked out, so per-rank peak
+//                      memory keeps Table I semantics (see simmpi/pool.hpp).
+//   * a batch API    — submit() takes a vector of requests, groups
+//                      same-plan requests together, and executes them
+//                      back-to-back (one plan lookup per run, no cache
+//                      thrash when shapes interleave).
+//
+// Usage contract: every member of `world` constructs an engine and calls
+// multiply()/submit()/plan_for() collectively in the same order with the
+// same shapes and options (normal MPI discipline). The engine is a per-rank
+// object; cache state evolves identically on all ranks because the request
+// stream does. Results are bit-identical to the one-shot path.
+//
+// Failure semantics are inherited from the cluster (PR 1): a rank killed
+// mid-batch triggers the cooperative abort, every peer unwinds, and
+// Cluster::run raises one aggregated ca3dmm::Error. The engine holds no
+// global state, so nothing is left half-updated outside the dead run.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ca3dmm.hpp"
+#include "simmpi/pool.hpp"
+
+namespace ca3dmm::engine {
+
+/// Tuning knobs of one engine instance. Must match on every rank.
+struct EngineConfig {
+  /// Plans (with their communicators) kept alive; least recently used
+  /// entries are evicted beyond this.
+  size_t plan_cache_capacity = 8;
+  /// Cap on idle pooled buffer bytes per rank (see BufferPool).
+  i64 pool_max_idle_bytes = 256ll << 20;
+};
+
+/// Monotonic per-engine counters. Cache counters evolve identically on
+/// every rank (the request stream is collective); splits_saved and the pool
+/// snapshot are this rank's own view (idle ranks skip the per-plan group
+/// splits, so they save fewer).
+struct EngineStats {
+  i64 requests = 0;         ///< multiplies executed
+  i64 batches = 0;          ///< submit() calls
+  i64 plan_hits = 0;        ///< requests served by a cached plan
+  i64 plan_misses = 0;      ///< requests that built a plan + comms
+  i64 plan_evictions = 0;   ///< cache entries dropped (LRU)
+  /// Communicator splits avoided versus the one-shot path (each cache hit
+  /// skips the active/cannon/replication/reduction splits of its plan).
+  i64 splits_saved = 0;
+  simmpi::PoolStats pool;   ///< buffer-pool snapshot (filled by stats())
+
+  double plan_hit_rate() const {
+    const i64 total = plan_hits + plan_misses;
+    return total == 0 ? 0.0 : static_cast<double>(plan_hits) / total;
+  }
+};
+
+/// One multiplication request: C = op(A) x op(B), same argument contract as
+/// ca3dmm_multiply (layouts span the engine's communicator; local pointers
+/// may be null only when the layout assigns this rank zero elements).
+template <typename T>
+struct Request {
+  i64 m = 0, n = 0, k = 0;
+  bool trans_a = false, trans_b = false;
+  const BlockLayout* a_layout = nullptr;
+  const T* a = nullptr;
+  const BlockLayout* b_layout = nullptr;
+  const T* b = nullptr;
+  const BlockLayout* c_layout = nullptr;
+  T* c = nullptr;
+  Ca3dmmOptions opt{};
+};
+
+class PgemmEngine {
+ public:
+  /// Binds the engine to `world` (the handle is dup()ed — cheap and local).
+  /// Collective only in the sense that every rank must construct one.
+  explicit PgemmEngine(simmpi::Comm& world, EngineConfig cfg = {});
+
+  PgemmEngine(const PgemmEngine&) = delete;
+  PgemmEngine& operator=(const PgemmEngine&) = delete;
+
+  /// Executes one request through the caches. Collective over world.
+  template <typename T>
+  void multiply(const Request<T>& req);
+
+  /// Executes a batch: requests are grouped by plan key (first-appearance
+  /// order preserved) and each group runs back-to-back on one cached plan.
+  /// Requests in a batch must be independent — the engine may reorder them
+  /// across groups, so no request's input may alias another's output.
+  /// Collective over world; every rank passes the same batch shape-wise.
+  template <typename T>
+  void submit(const std::vector<Request<T>>& batch);
+
+  /// Plans (or returns the cached plan) for a shape without executing —
+  /// pre-warming the caches. Collective over world on a cache miss (the
+  /// communicators are split here). The reference stays valid until the
+  /// entry is evicted.
+  const Ca3dmmPlan& plan_for(i64 m, i64 n, i64 k,
+                             const Ca3dmmOptions& opt = {});
+
+  /// Counters, with a current buffer-pool snapshot merged in.
+  EngineStats stats() const;
+
+  size_t cached_plans() const { return lru_.size(); }
+
+  /// Drops every cached plan (with its communicators) and all idle pooled
+  /// buffers. Purely local: no communication, no virtual-time charge.
+  void clear();
+
+ private:
+  struct PlanKey {
+    i64 m = 0, n = 0, k = 0;
+    int nranks = 0;
+    Ca3dmmOptions opt{};
+    friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  };
+  struct PlanKeyHash {
+    size_t operator()(const PlanKey& key) const;
+  };
+  struct Entry {
+    PlanKey key;
+    Ca3dmmPlan plan;
+    PlanComms comms;
+    i64 splits_per_call = 0;  ///< one-shot splits this rank avoids per hit
+  };
+
+  /// Returns the cache entry for the key, building plan + comms on a miss
+  /// (collective!) and updating LRU order and counters.
+  Entry& lookup(const PlanKey& key);
+
+  template <typename T>
+  void execute(Entry& entry, const Request<T>& req);
+
+  template <typename T>
+  PlanKey key_of(const Request<T>& req) const;
+
+  simmpi::Comm world_;
+  EngineConfig cfg_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  simmpi::BufferPool pool_;
+  EngineStats stats_;
+};
+
+}  // namespace ca3dmm::engine

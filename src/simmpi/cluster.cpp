@@ -260,6 +260,7 @@ RankStats Cluster::aggregate_stats() const {
       agg.phase_s[p] = std::max(agg.phase_s[p], s.phase_s[p]);
     agg.flops += s.flops;
     agg.peak_bytes = std::max(agg.peak_bytes, s.peak_bytes);
+    agg.comm_splits += s.comm_splits;
   }
   return agg;
 }

@@ -237,6 +237,8 @@ void reduce_sum_into(void* dst, const void* src, i64 n, Dtype d) {
 
 int Comm::rank() const { return my_index_; }
 
+std::uint64_t Comm::id() const { return state_ ? state_->id : 0; }
+
 int Comm::size() const {
   return static_cast<int>(state_->members.size());
 }
@@ -583,6 +585,7 @@ Comm Comm::split(int color, int key) const {
       [&](CommState& st) {
         result = st.split_out[static_cast<size_t>(my_index_)];
       });
+  if (RankCtx* ctx = current_ctx()) ctx->stats.comm_splits++;
   if (!result.first) return Comm();
   return Comm(std::move(result.first), result.second);
 }

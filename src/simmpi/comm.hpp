@@ -48,8 +48,19 @@ class Comm {
 
   /// MPI_Comm_split: ranks with equal `color` form a new communicator,
   /// ordered by (key, current rank). color < 0 returns an invalid Comm
-  /// (MPI_UNDEFINED).
+  /// (MPI_UNDEFINED). Collective; charges one small-word allgather of setup
+  /// latency to every member (which is what the engine's communicator cache
+  /// amortizes across calls).
   Comm split(int color, int key) const;
+
+  /// Cheap local handle duplication (NOT MPI_Comm_dup): the copy shares the
+  /// rendezvous state and charges no virtual time. This is the hook the
+  /// persistent engine uses to retain split communicators across calls.
+  Comm dup() const { return *this; }
+
+  /// Stable identifier of the underlying communicator (0 for invalid
+  /// comms); dup()ed handles share the id, split always mints a new one.
+  std::uint64_t id() const;
 
   // ---- point-to-point (rendezvous semantics) ----
   void send_bytes(const void* buf, i64 bytes, int dst, int tag);

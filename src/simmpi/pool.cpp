@@ -1,0 +1,71 @@
+#include "simmpi/pool.hpp"
+
+#include <cstring>
+#include <new>
+
+namespace ca3dmm::simmpi {
+
+namespace {
+thread_local BufferPool* tls_pool = nullptr;
+}  // namespace
+
+BufferPool::~BufferPool() { trim(); }
+
+void* BufferPool::acquire(i64 bytes) {
+  CA_ASSERT(bytes > 0);
+  auto it = free_.find(bytes);
+  if (it != free_.end() && !it->second.empty()) {
+    void* p = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) free_.erase(it);
+    idle_bytes_ -= bytes;
+    ++stats_.hits;
+    stats_.bytes_reused += bytes;
+    // Pooled memory must look like a fresh `new T[n]()` allocation.
+    std::memset(p, 0, static_cast<size_t>(bytes));
+    return p;
+  }
+  ++stats_.misses;
+  void* p = ::operator new(static_cast<size_t>(bytes));
+  std::memset(p, 0, static_cast<size_t>(bytes));
+  return p;
+}
+
+void BufferPool::give_back(void* p, i64 bytes) {
+  if (p == nullptr) return;
+  CA_ASSERT(bytes > 0);
+  // Make room by dropping the largest idle allocations first; if the
+  // incoming buffer alone busts the cap, free it instead of pooling it.
+  while (idle_bytes_ + bytes > max_idle_bytes_ && !free_.empty()) {
+    auto it = std::prev(free_.end());
+    ::operator delete(it->second.back());
+    it->second.pop_back();
+    idle_bytes_ -= it->first;
+    ++stats_.trims;
+    if (it->second.empty()) free_.erase(it);
+  }
+  if (idle_bytes_ + bytes > max_idle_bytes_) {
+    ::operator delete(p);
+    ++stats_.trims;
+    return;
+  }
+  free_[bytes].push_back(p);
+  idle_bytes_ += bytes;
+}
+
+void BufferPool::trim() {
+  for (auto& [bytes, list] : free_) {
+    for (void* p : list) ::operator delete(p);
+    (void)bytes;
+  }
+  free_.clear();
+  idle_bytes_ = 0;
+}
+
+BufferPool* current_buffer_pool() { return tls_pool; }
+
+PoolScope::PoolScope(BufferPool* pool) : saved_(tls_pool) { tls_pool = pool; }
+
+PoolScope::~PoolScope() { tls_pool = saved_; }
+
+}  // namespace ca3dmm::simmpi

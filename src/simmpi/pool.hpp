@@ -1,0 +1,99 @@
+// Per-rank buffer pool backing TrackedBuffer allocations.
+//
+// The persistent PGEMM engine (src/engine) executes many multiplications on
+// one long-lived context; without pooling, every call re-allocates the same
+// work buffers (initial operand blocks, shift buffers, partial C, packing
+// scratch). A BufferPool keeps released allocations on exact-size free lists
+// and hands them back on the next request of the same size, so a steady
+// stream of same-shape requests performs zero heap allocations after the
+// first call.
+//
+// Accounting contract (Table I semantics): pooled memory is reported to the
+// rank's memory tracker only while it is checked out. A TrackedBuffer served
+// from the pool tracks exactly the same byte count at exactly the same
+// program points as a heap-backed one, and pooled memory is returned zeroed
+// (like `new T[n]()`), so peak-memory numbers and computed results are
+// bit-identical with and without a pool. Idle pooled bytes are deliberately
+// NOT charged: they model a reusable arena owned by the engine, and
+// `idle_bytes()` exposes them separately.
+//
+// Exact size classes (not power-of-two buckets) are intentional: the engine
+// serves repeated identical shapes, where exact matching gives a 100% reuse
+// rate, and it keeps the tracked footprint identical to the unpooled path
+// instead of inflating it by round-up slack.
+//
+// A pool is owned by one rank (thread) and is not thread-safe. Activate it
+// with PoolScope; TrackedBuffer::resize picks up the scope's pool through a
+// thread-local, so the whole CA3DMM call tree (driver, 2-D engines,
+// redistribution) becomes pool-backed without signature changes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/partition.hpp"
+
+namespace ca3dmm::simmpi {
+
+/// Reuse statistics of one pool (monotonic over the pool's lifetime).
+struct PoolStats {
+  i64 hits = 0;            ///< acquires served from a free list
+  i64 misses = 0;          ///< acquires that hit the heap
+  i64 bytes_reused = 0;    ///< total bytes served from free lists
+  i64 trims = 0;           ///< allocations freed to respect max_idle_bytes
+
+  double hit_rate() const {
+    const i64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class BufferPool {
+ public:
+  /// `max_idle_bytes` caps the memory parked on free lists; give_back frees
+  /// (instead of pooling) once the cap would be exceeded, largest idle
+  /// allocations first.
+  explicit BufferPool(i64 max_idle_bytes = 256ll << 20)
+      : max_idle_bytes_(max_idle_bytes) {}
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a zeroed allocation of exactly `bytes` bytes (aligned for any
+  /// scalar type). The caller must return it via give_back with the same
+  /// size.
+  void* acquire(i64 bytes);
+  void give_back(void* p, i64 bytes);
+
+  /// Frees every idle allocation.
+  void trim();
+
+  i64 idle_bytes() const { return idle_bytes_; }
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  std::map<i64, std::vector<void*>> free_;  ///< size in bytes -> free list
+  i64 idle_bytes_ = 0;
+  i64 max_idle_bytes_;
+  PoolStats stats_;
+};
+
+/// The pool new TrackedBuffers of the calling thread draw from (null when no
+/// PoolScope is active).
+BufferPool* current_buffer_pool();
+
+/// RAII activation of a pool for the calling rank thread; nests (the
+/// previous pool is restored on destruction).
+class PoolScope {
+ public:
+  explicit PoolScope(BufferPool* pool);
+  ~PoolScope();
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  BufferPool* saved_;
+};
+
+}  // namespace ca3dmm::simmpi

@@ -86,7 +86,7 @@ void run_case(const Cfg& cfg) {
     std::vector<double> c(
         static_cast<size_t>(c_layout.local_size(world.rank())), -1.0);
     ca3dmm_multiply<double>(world, plan, cfg.ta, cfg.tb, a_layout, a.data(),
-                            b_layout, b.data(), c_layout, c.data(), cfg.opt);
+                            b_layout, b.data(), c_layout, c.data());
     // Validate my slice of C against the reference.
     i64 pos = 0;
     for (const Rect& r : c_layout.rects_of(world.rank()))

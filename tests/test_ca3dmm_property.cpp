@@ -110,7 +110,7 @@ TEST_P(Ca3dmmProperty, MatchesReference) {
     std::vector<double> cb(
         static_cast<size_t>(c_lay.local_size(world.rank())));
     ca3dmm_multiply<double>(world, plan, c.ta, c.tb, a_lay, al.data(), b_lay,
-                            bl.data(), c_lay, cb.data(), opt);
+                            bl.data(), c_lay, cb.data());
     i64 pos = 0;
     for (const Rect& r : c_lay.rects_of(world.rank()))
       for (i64 i = r.r.lo; i < r.r.hi; ++i)

@@ -117,7 +117,7 @@ RankStats run_engine(Algo algo, const Workload& w, int P,
       case Algo::kCa3dmm:
       case Algo::kCa3dmmSumma:
         ca3dmm_multiply<double>(world, ca_plan, false, false, a_lay, a.data(),
-                                b_lay, b.data(), c_lay, c.data(), ca_opt);
+                                b_lay, b.data(), c_lay, c.data());
         break;
       case Algo::kCosma:
       case Algo::kCarma:

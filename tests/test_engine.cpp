@@ -1,0 +1,436 @@
+// Persistent PGEMM engine: plan-cache hit/miss/eviction behavior, dtype
+// sharing, communicator reuse (fewer splits, strictly lower virtual time),
+// buffer-pool reuse with unchanged peak-memory accounting (Table I
+// semantics), batched submit, and failure semantics under fault injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/fault.hpp"
+
+namespace ca3dmm {
+namespace {
+
+using engine::EngineConfig;
+using engine::EngineStats;
+using engine::PgemmEngine;
+using engine::Request;
+using simmpi::Cluster;
+using simmpi::Comm;
+using simmpi::Machine;
+
+constexpr std::uint64_t kSeedA = 31, kSeedB = 32;
+
+void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
+                std::vector<double>& buf) {
+  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j)
+        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+}
+
+template <typename T>
+Request<T> make_request(i64 m, i64 n, i64 k, const BlockLayout& a_lay,
+                        const T* a, const BlockLayout& b_lay, const T* b,
+                        const BlockLayout& c_lay, T* c) {
+  Request<T> r;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.a_layout = &a_lay;
+  r.a = a;
+  r.b_layout = &b_lay;
+  r.b = b;
+  r.c_layout = &c_lay;
+  r.c = c;
+  return r;
+}
+
+TEST(PlanCache, HitMissEvictionCounters) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  EngineStats st;
+  cl.run([&](Comm& world) {
+    EngineConfig cfg;
+    cfg.plan_cache_capacity = 2;
+    PgemmEngine eng(world, cfg);
+    // Shapes A, B fill the cache; A again hits; C evicts B (LRU); B misses.
+    eng.plan_for(24, 24, 24);  // A: miss
+    eng.plan_for(32, 32, 32);  // B: miss
+    eng.plan_for(24, 24, 24);  // A: hit
+    eng.plan_for(40, 40, 40);  // C: miss, evicts B
+    eng.plan_for(24, 24, 24);  // A: hit (still cached)
+    eng.plan_for(32, 32, 32);  // B: miss again
+    if (world.rank() == 0) st = eng.stats();
+    EXPECT_EQ(eng.cached_plans(), 2u);
+  });
+  EXPECT_EQ(st.plan_misses, 4);
+  EXPECT_EQ(st.plan_hits, 2);
+  EXPECT_EQ(st.plan_evictions, 2);
+}
+
+TEST(PlanCache, DistinctOptionsAreDistinctEntries) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    PgemmEngine eng(world);
+    Ca3dmmOptions summa;
+    summa.use_summa = true;
+    eng.plan_for(24, 24, 24);
+    eng.plan_for(24, 24, 24, summa);
+    EXPECT_EQ(eng.stats().plan_misses, 2);
+    EXPECT_EQ(eng.stats().plan_hits, 0);
+    EXPECT_EQ(eng.cached_plans(), 2u);
+  });
+}
+
+TEST(PlanCache, FloatAndDoubleShareOnePlan) {
+  // The cache key has no element type: a double request and a float request
+  // of the same shape share the plan and its communicators.
+  const i64 m = 24, n = 24, k = 24;
+  const int P = 4;
+  const BlockLayout lay = BlockLayout::col_1d(m, n, P);
+  Cluster cl(P, Machine::unit_test());
+  EngineStats st;
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> ad, bd;
+    fill_local(lay, me, kSeedA, ad);
+    fill_local(lay, me, kSeedB, bd);
+    std::vector<float> af(ad.begin(), ad.end()), bf(bd.begin(), bd.end());
+    std::vector<double> cd(static_cast<size_t>(lay.local_size(me)));
+    std::vector<float> cf(static_cast<size_t>(lay.local_size(me)));
+
+    PgemmEngine eng(world);
+    eng.multiply(make_request<double>(m, n, k, lay, ad.data(), lay, bd.data(),
+                                      lay, cd.data()));
+    eng.multiply(make_request<float>(m, n, k, lay, af.data(), lay, bf.data(),
+                                     lay, cf.data()));
+    if (me == 0) st = eng.stats();
+    // Both dtypes produced real results through the shared plan.
+    for (size_t i = 0; i < cf.size(); ++i)
+      EXPECT_NEAR(cf[i], static_cast<float>(cd[i]),
+                  1e-3f * static_cast<float>(k));
+  });
+  EXPECT_EQ(st.plan_misses, 1);
+  EXPECT_EQ(st.plan_hits, 1);
+  EXPECT_EQ(st.requests, 2);
+}
+
+/// Runs `iters` same-shape multiplies one-shot, returns per-rank C copies,
+/// plus per-rank (vtime, peak_bytes, comm_splits) via out-params.
+struct RunResult {
+  std::vector<std::vector<double>> c;  // per rank
+  std::vector<double> vtime;
+  std::vector<i64> peak_bytes;
+  std::vector<i64> comm_splits;
+};
+
+RunResult run_oneshot(Cluster& cl, i64 m, i64 n, i64 k, int P, int iters,
+                      const BlockLayout& lay) {
+  RunResult res;
+  res.c.resize(static_cast<size_t>(P));
+  const Ca3dmmPlan plan = Ca3dmmPlan::make(m, n, k, P);
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> a, b;
+    fill_local(lay, me, kSeedA, a);
+    fill_local(lay, me, kSeedB, b);
+    std::vector<double> c(static_cast<size_t>(lay.local_size(me)));
+    for (int t = 0; t < iters; ++t)
+      ca3dmm_multiply<double>(world, plan, false, false, lay, a.data(), lay,
+                              b.data(), lay, c.data());
+    res.c[static_cast<size_t>(me)] = c;
+  });
+  for (int r = 0; r < P; ++r) {
+    res.vtime.push_back(cl.stats(r).vtime);
+    res.peak_bytes.push_back(cl.stats(r).peak_bytes);
+    res.comm_splits.push_back(cl.stats(r).comm_splits);
+  }
+  return res;
+}
+
+RunResult run_engine(Cluster& cl, i64 m, i64 n, i64 k, int P, int iters,
+                     const BlockLayout& lay, EngineStats* st_out) {
+  RunResult res;
+  res.c.resize(static_cast<size_t>(P));
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> a, b;
+    fill_local(lay, me, kSeedA, a);
+    fill_local(lay, me, kSeedB, b);
+    std::vector<double> c(static_cast<size_t>(lay.local_size(me)));
+    PgemmEngine eng(world);
+    for (int t = 0; t < iters; ++t)
+      eng.multiply(make_request<double>(m, n, k, lay, a.data(), lay, b.data(),
+                                        lay, c.data()));
+    if (me == 0 && st_out) *st_out = eng.stats();
+    res.c[static_cast<size_t>(me)] = c;
+  });
+  for (int r = 0; r < P; ++r) {
+    res.vtime.push_back(cl.stats(r).vtime);
+    res.peak_bytes.push_back(cl.stats(r).peak_bytes);
+    res.comm_splits.push_back(cl.stats(r).comm_splits);
+  }
+  return res;
+}
+
+TEST(EngineVsOneShot, BitIdenticalLowerVtimeSamePeakMemory) {
+  // The ISSUE acceptance workload: >= 10 same-shape multiplies. The engine
+  // path must (a) hit the plan cache >= 90% of the time, (b) finish in
+  // strictly lower simulated time (split latency amortized), (c) report
+  // exactly the one-shot per-rank peak memory (Table I semantics are not
+  // disturbed by pooling), and (d) produce bit-identical C.
+  const i64 m = 48, n = 48, k = 48;
+  const int P = 8, iters = 10;
+  const BlockLayout lay = BlockLayout::col_1d(m, n, P);
+  Cluster cl(P, Machine::unit_test());
+
+  const RunResult oneshot = run_oneshot(cl, m, n, k, P, iters, lay);
+  EngineStats st;
+  const RunResult eng = run_engine(cl, m, n, k, P, iters, lay, &st);
+
+  // (a) cache behavior: 1 miss, iters-1 hits.
+  EXPECT_EQ(st.plan_misses, 1);
+  EXPECT_EQ(st.plan_hits, iters - 1);
+  EXPECT_GE(st.plan_hit_rate(), 0.9);
+  EXPECT_GT(st.splits_saved, 0);
+  // Buffer pool actually recycled memory after the first iteration.
+  EXPECT_GT(st.pool.hits, 0);
+
+  for (int r = 0; r < P; ++r) {
+    const size_t ur = static_cast<size_t>(r);
+    // (b) strictly lower simulated time on every rank.
+    EXPECT_LT(eng.vtime[ur], oneshot.vtime[ur]) << "rank " << r;
+    // Communicator cache: one-shot splits iters times, engine once.
+    EXPECT_EQ(oneshot.comm_splits[ur], iters * eng.comm_splits[ur])
+        << "rank " << r;
+    // (c) identical peak tracked memory.
+    EXPECT_EQ(eng.peak_bytes[ur], oneshot.peak_bytes[ur]) << "rank " << r;
+    // (d) bit-identical results.
+    ASSERT_EQ(eng.c[ur].size(), oneshot.c[ur].size());
+    for (size_t i = 0; i < eng.c[ur].size(); ++i)
+      ASSERT_EQ(eng.c[ur][i], oneshot.c[ur][i])
+          << "rank " << r << " element " << i;
+  }
+}
+
+TEST(BatchedSubmit, GroupsShapesAndMatchesSequential) {
+  // An interleaved shape stream (A B A B A B ...) against a capacity-1
+  // cache: sequential multiply() thrashes (every call misses), submit()
+  // groups the batch so each shape misses once. Results must be
+  // bit-identical and the batched run strictly faster.
+  const int P = 4;
+  const i64 mA = 24, mB = 32;
+  const int pairs = 4;
+  const BlockLayout layA = BlockLayout::col_1d(mA, mA, P);
+  const BlockLayout layB = BlockLayout::col_1d(mB, mB, P);
+  Cluster cl(P, Machine::unit_test());
+
+  struct Out {
+    std::vector<double> ca, cb;
+  };
+  std::vector<Out> seq(static_cast<size_t>(P)), bat(static_cast<size_t>(P));
+  EngineStats st_seq, st_bat;
+
+  auto body = [&](Comm& world, bool batched, std::vector<Out>& out,
+                  EngineStats& st) {
+    const int me = world.rank();
+    std::vector<double> aa, ba, ab, bb;
+    fill_local(layA, me, kSeedA, aa);
+    fill_local(layA, me, kSeedB, ba);
+    fill_local(layB, me, kSeedA, ab);
+    fill_local(layB, me, kSeedB, bb);
+    std::vector<double> ca(static_cast<size_t>(layA.local_size(me)));
+    std::vector<double> cb(static_cast<size_t>(layB.local_size(me)));
+    EngineConfig cfg;
+    cfg.plan_cache_capacity = 1;
+    PgemmEngine eng(world, cfg);
+    std::vector<Request<double>> reqs;
+    for (int p = 0; p < pairs; ++p) {
+      reqs.push_back(make_request<double>(mA, mA, mA, layA, aa.data(), layA,
+                                          ba.data(), layA, ca.data()));
+      reqs.push_back(make_request<double>(mB, mB, mB, layB, ab.data(), layB,
+                                          bb.data(), layB, cb.data()));
+    }
+    if (batched) {
+      eng.submit(reqs);
+    } else {
+      for (const Request<double>& r : reqs) eng.multiply(r);
+    }
+    if (me == 0) st = eng.stats();
+    out[static_cast<size_t>(me)].ca = ca;
+    out[static_cast<size_t>(me)].cb = cb;
+  };
+
+  cl.run([&](Comm& w) { body(w, false, seq, st_seq); });
+  std::vector<double> vt_seq;
+  for (int r = 0; r < P; ++r) vt_seq.push_back(cl.stats(r).vtime);
+  cl.run([&](Comm& w) { body(w, true, bat, st_bat); });
+
+  // Sequential with capacity 1 thrashes: every request misses.
+  EXPECT_EQ(st_seq.plan_misses, 2 * pairs);
+  EXPECT_EQ(st_seq.plan_hits, 0);
+  // Batched: grouped execution — one miss per shape.
+  EXPECT_EQ(st_bat.batches, 1);
+  EXPECT_EQ(st_bat.plan_misses, 2);
+  EXPECT_EQ(st_bat.plan_hits, 2 * pairs - 2);
+  EXPECT_EQ(st_bat.requests, 2 * pairs);
+
+  for (int r = 0; r < P; ++r) {
+    const size_t ur = static_cast<size_t>(r);
+    // Strictly lower total virtual time for the batched run.
+    EXPECT_LT(cl.stats(r).vtime, vt_seq[ur]) << "rank " << r;
+    // Bit-identical results.
+    ASSERT_EQ(bat[ur].ca.size(), seq[ur].ca.size());
+    for (size_t i = 0; i < bat[ur].ca.size(); ++i)
+      ASSERT_EQ(bat[ur].ca[i], seq[ur].ca[i]) << "rank " << r;
+    ASSERT_EQ(bat[ur].cb.size(), seq[ur].cb.size());
+    for (size_t i = 0; i < bat[ur].cb.size(); ++i)
+      ASSERT_EQ(bat[ur].cb[i], seq[ur].cb[i]) << "rank " << r;
+  }
+}
+
+TEST(EngineCorrectness, MatchesReferenceAcrossShapesAndOptions) {
+  // A mixed batch (shapes, transposes, SUMMA option) through one engine,
+  // validated against the serial reference.
+  const int P = 8;
+  struct Shape {
+    i64 m, n, k;
+    bool ta, tb;
+    bool summa;
+  };
+  const std::vector<Shape> shapes = {
+      {32, 24, 40, false, false, false},
+      {24, 32, 40, true, false, false},
+      {40, 40, 16, false, true, true},
+  };
+  Cluster cl(P, Machine::unit_test());
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    PgemmEngine eng(world);
+    for (const Shape& s : shapes) {
+      const BlockLayout a_lay = BlockLayout::col_1d(s.ta ? s.k : s.m,
+                                                    s.ta ? s.m : s.k, P);
+      const BlockLayout b_lay = BlockLayout::col_1d(s.tb ? s.n : s.k,
+                                                    s.tb ? s.k : s.n, P);
+      const BlockLayout c_lay = BlockLayout::col_1d(s.m, s.n, P);
+      std::vector<double> a, b;
+      fill_local(a_lay, me, kSeedA, a);
+      fill_local(b_lay, me, kSeedB, b);
+      std::vector<double> c(static_cast<size_t>(c_lay.local_size(me)));
+      Request<double> req = make_request<double>(
+          s.m, s.n, s.k, a_lay, a.data(), b_lay, b.data(), c_lay, c.data());
+      req.trans_a = s.ta;
+      req.trans_b = s.tb;
+      req.opt.use_summa = s.summa;
+      eng.multiply(req);
+
+      Matrix<double> am(s.ta ? s.k : s.m, s.ta ? s.m : s.k);
+      Matrix<double> bm(s.tb ? s.n : s.k, s.tb ? s.k : s.n);
+      am.fill_random(kSeedA);
+      bm.fill_random(kSeedB);
+      Matrix<double> c_ref(s.m, s.n);
+      gemm_ref<double>(s.ta, s.tb, s.m, s.n, s.k, 1.0, am.data(), bm.data(),
+                       c_ref.data());
+      i64 pos = 0;
+      for (const Rect& r : c_lay.rects_of(me))
+        for (i64 i = r.r.lo; i < r.r.hi; ++i)
+          for (i64 j = r.c.lo; j < r.c.hi; ++j)
+            ASSERT_NEAR(c[static_cast<size_t>(pos++)], c_ref(i, j),
+                        1e-11 * (s.k + 1));
+    }
+  });
+}
+
+TEST(EngineFaults, KilledRankMidBatchRaisesOneAggregatedError) {
+  // PR-1 semantics through the engine: a rank killed by fault injection in
+  // the middle of a batch unwinds every peer cooperatively and Cluster::run
+  // raises a single ca3dmm::Error naming the failed rank.
+  const i64 m = 24;
+  const int P = 4;
+  const BlockLayout lay = BlockLayout::col_1d(m, m, P);
+  Cluster cl(P, Machine::unit_test());
+  simmpi::FaultPlan fp;
+  fp.kills.push_back({.rank = 1, .at_op = 40});  // inside a later request
+  cl.set_fault_plan(fp);
+  try {
+    cl.run([&](Comm& world) {
+      const int me = world.rank();
+      std::vector<double> a, b;
+      fill_local(lay, me, kSeedA, a);
+      fill_local(lay, me, kSeedB, b);
+      std::vector<double> c(static_cast<size_t>(lay.local_size(me)));
+      PgemmEngine eng(world);
+      std::vector<Request<double>> reqs(
+          10, make_request<double>(m, m, m, lay, a.data(), lay, b.data(), lay,
+                                   c.data()));
+      eng.submit(reqs);
+    });
+    FAIL() << "run() completed despite the injected kill";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1 failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fault injection"), std::string::npos) << msg;
+  }
+  cl.set_fault_plan(simmpi::FaultPlan{});
+}
+
+TEST(BufferPool, ExactSizeReuseAndTrim) {
+  simmpi::BufferPool pool(1 << 20);
+  void* p1 = pool.acquire(1024);
+  EXPECT_EQ(pool.stats().misses, 1);
+  pool.give_back(p1, 1024);
+  EXPECT_EQ(pool.idle_bytes(), 1024);
+  void* p2 = pool.acquire(1024);
+  EXPECT_EQ(p2, p1);  // exact-size free list reuse
+  EXPECT_EQ(pool.stats().hits, 1);
+  // Different size misses.
+  void* p3 = pool.acquire(2048);
+  EXPECT_EQ(pool.stats().misses, 2);
+  pool.give_back(p2, 1024);
+  pool.give_back(p3, 2048);
+  pool.trim();
+  EXPECT_EQ(pool.idle_bytes(), 0);
+}
+
+TEST(BufferPool, IdleCapEvictsLargestFirst) {
+  simmpi::BufferPool pool(4096);
+  void* a = pool.acquire(1024);
+  void* b = pool.acquire(3072);
+  void* c = pool.acquire(2048);
+  pool.give_back(a, 1024);
+  pool.give_back(b, 3072);  // idle: 4096 (at cap)
+  pool.give_back(c, 2048);  // must evict the 3072 allocation to fit 2048
+  EXPECT_LE(pool.idle_bytes(), 4096);
+  EXPECT_EQ(pool.idle_bytes(), 1024 + 2048);
+  EXPECT_GT(pool.stats().trims, 0);
+}
+
+TEST(BufferPool, PooledTrackedBufferKeepsAccounting) {
+  // Inside a PoolScope, TrackedBuffer draws from the pool but reports the
+  // same bytes to the (absent) rank tracker and returns zeroed memory.
+  simmpi::BufferPool pool(1 << 20);
+  {
+    simmpi::PoolScope scope(&pool);
+    simmpi::TrackedBuffer<double> buf(128);
+    for (i64 i = 0; i < 128; ++i) EXPECT_EQ(buf[i], 0.0);
+    for (i64 i = 0; i < 128; ++i) buf[i] = 1.5;
+  }  // released back to the pool
+  EXPECT_EQ(pool.idle_bytes(), 128 * 8);
+  {
+    simmpi::PoolScope scope(&pool);
+    simmpi::TrackedBuffer<double> buf(128);  // reuses the dirty allocation
+    EXPECT_EQ(pool.stats().hits, 1);
+    for (i64 i = 0; i < 128; ++i) EXPECT_EQ(buf[i], 0.0);  // re-zeroed
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm

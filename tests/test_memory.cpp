@@ -48,7 +48,7 @@ i64 run_peak(i64 m, i64 n, i64 k, int P, const Ca3dmmOptions& opt = {}) {
     std::vector<double> b(static_cast<size_t>(b_nat.local_size(me)), 1.0);
     std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
     ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
-                            b.data(), c_nat, c.data(), opt);
+                            b.data(), c_nat, c.data());
   });
   return cl.aggregate_stats().peak_bytes;
 }

@@ -91,7 +91,7 @@ TEST(UnifiedView, SquareFallsBackTo2DCannonWhenMemoryTight) {
     std::vector<double> b(static_cast<size_t>(b_nat.local_size(me)), 1.0);
     std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
     ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
-                            b.data(), c_nat, c.data(), opt);
+                            b.data(), c_nat, c.data());
   });
   const RankStats s = cl.aggregate_stats();
   EXPECT_DOUBLE_EQ(s.phase(Phase::kReduce), 0.0);

@@ -149,8 +149,7 @@ int main(int argc, char** argv) {
       fill(b_lay, 2, bl);
       std::vector<double> clq(static_cast<size_t>(c_lay.local_size(me)));
       ca3dmm_multiply<double>(world, plan, a.trans_a, a.trans_b, a_lay,
-                              al.data(), b_lay, bl.data(), c_lay, clq.data(),
-                              opt);
+                              al.data(), b_lay, bl.data(), c_lay, clq.data());
       if (a.validate) {
         i64 pos = 0;
         long my_err = 0;
