@@ -34,6 +34,44 @@ std::vector<Case> cases() {
   };
 }
 
+/// CA3DMM per-phase time under each collective backend: the paper's
+/// butterfly schedules vs the tuned (auto) selection of the topology-aware
+/// engine. The butterfly rows equal the main table's CA3DMM numbers; the
+/// tuned rows show where hierarchical replication/reduction moves the
+/// breakdown, together with the modeled inter-node traffic.
+void print_backend_breakdown() {
+  const Machine mach = Machine::phoenix_mpi();
+  std::printf(
+      "\n=== CA3DMM phase breakdown by collective backend, 2048 cores ===\n");
+  TextTable t({"class", "backend", "replicate ms", "reduce ms", "shift ms",
+               "compute ms", "total ms", "inter GB"});
+  struct Backend {
+    const char* name;
+    simmpi::CollectiveConfig cfg;
+  };
+  const Backend backends[] = {{"butterfly", simmpi::CollectiveConfig{}},
+                              {"tuned", simmpi::CollectiveConfig::tuned()}};
+  for (const Case& cs : cases()) {
+    for (const Backend& b : backends) {
+      Workload w{cs.m, cs.n, cs.k};
+      w.force_grid = cs.grid;
+      w.coll = b.cfg;
+      const Prediction p = costmodel::predict(Algo::kCa3dmm, w, 2048, mach);
+      t.add_row({cs.cls, b.name,
+                 strprintf("%.2f", p.phase(Phase::kReplicate) * 1e3),
+                 strprintf("%.2f", p.phase(Phase::kReduce) * 1e3),
+                 strprintf("%.2f", p.phase(Phase::kShift) * 1e3),
+                 strprintf("%.2f", p.phase(Phase::kCompute) * 1e3),
+                 strprintf("%.2f", p.t_total * 1e3),
+                 strprintf("%.3f", p.total_inter_bytes() / 1e9)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\n(butterfly rows match the main table; inter GB counts the modeled\n"
+      " inter-node bytes of the replication and reduction collectives)\n");
+}
+
 void print_tables() {
   const Machine mach = Machine::phoenix_mpi();
   std::printf(
@@ -68,6 +106,7 @@ void print_tables() {
   std::printf(
       "\npaper: both libraries show similar compute and similar total\n"
       "       communication (replicate+reduce) in every class.\n");
+  print_backend_breakdown();
 }
 
 void register_benchmarks() {
@@ -81,6 +120,11 @@ void register_benchmarks() {
           strprintf("fig5/%s/%s/total", costmodel::algo_name(algo), cs.cls),
           p.t_total);
     }
+    Workload wt = w;
+    wt.coll = simmpi::CollectiveConfig::tuned();
+    register_sim_time(
+        strprintf("fig5/CA3DMM-tuned/%s/total", cs.cls),
+        costmodel::predict(Algo::kCa3dmm, wt, 2048, mach).t_total);
   }
 }
 

@@ -157,6 +157,7 @@ void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
         repl_local = active.split(co.gk * s * s + co.j * s + co.i, co.gc);
       Comm& repl = cached ? cached->repl : repl_local;
       CA_ASSERT(repl.size() == c);
+      if (opt.coll) repl.set_collective_config(*opt.coll);
       PhaseScope ps(world, Phase::kReplicate);
       if (plan.replicates_a()) {
         std::vector<i64> sub_elems(static_cast<size_t>(c));
@@ -215,6 +216,7 @@ void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
         reduce_local = active.split((co.gc * s + co.j) * s + co.i, co.gk);
       Comm& reduce = cached ? cached->reduce : reduce_local;
       CA_ASSERT(reduce.size() == pk);
+      if (opt.coll) reduce.set_collective_config(*opt.coll);
       PhaseScope ps(world, Phase::kReduce);
       // Pack column sub-blocks in destination (gk) order.
       TrackedBuffer<T> packed(mb * nb);

@@ -30,6 +30,7 @@
 
 #include "core/grid_solver.hpp"
 #include "layout/block_layout.hpp"
+#include "simmpi/coll_cost.hpp"
 
 namespace ca3dmm {
 
@@ -46,6 +47,14 @@ struct Ca3dmmOptions {
   i64 min_kblk = 192;
   /// Overrides the solver's grid (Table II experiments).
   std::optional<ProcGrid> force_grid{};
+  /// Collective schedules for the replication all-gather and the partial-C
+  /// reduce-scatter — the two collectives that dominate CA3DMM's
+  /// communication (§III-D). Unset (the default) leaves the communicators
+  /// on whatever the cluster/world configuration says, i.e. the paper's
+  /// butterfly model; setting it overrides the repl/reduce communicators on
+  /// every call. The cost model honors Workload::coll at the same two
+  /// spots, keeping prediction and execution consistent by construction.
+  std::optional<simmpi::CollectiveConfig> coll{};
 
   /// Member-wise equality: plans built from equal options on equal problem
   /// dimensions are interchangeable, which is what the engine's plan cache

@@ -37,6 +37,7 @@ constexpr int kPhases = static_cast<int>(Phase::kCount);
 struct RankSim {
   double clock = 0;
   double phase[kPhases] = {};
+  double inter[kPhases] = {};
   Phase cur = Phase::kMisc;
   i64 cur_bytes = 0;
   i64 peak_bytes = 0;
@@ -45,6 +46,13 @@ struct RankSim {
   void charge(double s) {
     clock += s;
     phase[static_cast<int>(cur)] += s;
+  }
+  /// Charges a schedule-aware collective: virtual time plus this rank's 1/p
+  /// share of the group's aggregate inter-node bytes (the engine's
+  /// RankStats convention, so summing over ranks recovers the aggregate).
+  void charge_coll(const simmpi::CollCost& c, int p) {
+    charge(c.t);
+    inter[static_cast<int>(cur)] += c.inter_bytes / p;
   }
   void alloc(i64 b) {
     cur_bytes += b;
@@ -67,6 +75,21 @@ LinkParams link_of(const Machine& mach, const std::vector<int>& ranks) {
   return group_link(mach, GroupProfile::from_world_ranks(mach, ranks));
 }
 
+/// Profile + link of a group, kept together where the schedule-aware cost
+/// functions need the composition (hierarchical schedules, inter-node byte
+/// accounting), not just the mixed link parameters.
+struct GroupInfo {
+  GroupProfile prof;
+  LinkParams link;
+};
+
+GroupInfo info_of(const Machine& mach, const std::vector<int>& ranks) {
+  GroupInfo gi;
+  gi.prof = GroupProfile::from_world_ranks(mach, ranks);
+  gi.link = group_link(mach, gi.prof);
+  return gi;
+}
+
 LinkParams link_range(const Machine& mach, int lo, int count) {
   std::vector<int> r(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) r[static_cast<size_t>(i)] = lo + i;
@@ -82,8 +105,10 @@ int wrap(int v, int s) { return ((v % s) + s) % s; }
 /// Folds one finished rank simulation into the prediction maxima.
 void fold(Prediction& p, const RankSim& sim) {
   p.t_total = std::max(p.t_total, sim.clock);
-  for (int i = 0; i < kPhases; ++i)
+  for (int i = 0; i < kPhases; ++i) {
     p.phase_s[i] = std::max(p.phase_s[i], sim.phase[i]);
+    p.inter_bytes_s[i] += sim.inter[i];  // sum: per-rank 1/p shares
+  }
   p.peak_bytes = std::max(p.peak_bytes, sim.peak_bytes);
   p.flops_per_rank = std::max(p.flops_per_rank, sim.flops);
 }
@@ -158,25 +183,27 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
   const double t_split_world = split_cost(world_link, P);
   const double t_split_active = split_cost(active_link, active);
 
-  // Pre-compute group links (shared by all members of a group).
-  std::map<int, LinkParams> repl_links, reduce_links, cannon_links,
-      row_links, col_links;
+  // Pre-compute group links (shared by all members of a group). The repl
+  // and reduce groups keep their GroupProfile: the schedule-aware costs
+  // need the node composition, not just the mixed link.
+  std::map<int, GroupInfo> repl_infos, reduce_infos;
+  std::map<int, LinkParams> cannon_links, row_links, col_links;
   for (int r = 0; r < active; ++r) {
     const RankCoord co = plan.coord(r);
     if (c > 1) {
       const int key = (co.gk * s + co.j) * s + co.i;
-      if (!repl_links.count(key)) {
+      if (!repl_infos.count(key)) {
         std::vector<int> mem;
         for (int g = 0; g < c; ++g) mem.push_back(plan.rank_of(co.gk, g, co.i, co.j));
-        repl_links[key] = link_of(mach, mem);
+        repl_infos[key] = info_of(mach, mem);
       }
     }
     if (pk > 1) {
       const int key = (co.gc * s + co.j) * s + co.i;
-      if (!reduce_links.count(key)) {
+      if (!reduce_infos.count(key)) {
         std::vector<int> mem;
         for (int g = 0; g < pk; ++g) mem.push_back(plan.rank_of(g, co.gc, co.i, co.j));
-        reduce_links[key] = link_of(mach, mem);
+        reduce_infos[key] = info_of(mach, mem);
       }
     }
     const int ckey = co.gk * c + co.gc;
@@ -239,20 +266,25 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
       if (c > 1) {
         sim.charge(t_split_active);  // repl split
         sim.cur = Phase::kReplicate;
-        const LinkParams& rl =
-            repl_links[(co.gk * s + co.j) * s + co.i];
+        const GroupInfo& rg = repl_infos[(co.gk * s + co.j) * s + co.i];
+        auto ag_cost = [&](i64 blk) {
+          const double bytes = static_cast<double>(blk);
+          const simmpi::CollAlgo alg = resolve_coll_algo(
+              w.coll.allgather, rg.prof, bytes, w.coll.small_message_bytes);
+          return coll_allgather_cost(mach, rg.prof, rg.link, alg, bytes, c);
+        };
         if (plan.replicates_a()) {
           const i64 blk = plan.kpart(co.gk, co.j).size() * mb * esize;
           sim.alloc(blk);  // gathered
           sim.alloc(blk);  // a_blk
-          sim.charge(t_allgather(rl, static_cast<double>(blk), c));
+          sim.charge_coll(ag_cost(blk), c);
           sim.free(a_live);  // a_init released
           a_live = blk;
           sim.free(blk);  // gathered (scope end)
         } else {
           const i64 blk = plan.kpart(co.gk, co.i).size() * nb * esize;
           sim.alloc(blk);  // b_blk
-          sim.charge(t_allgather(rl, static_cast<double>(blk), c));
+          sim.charge_coll(ag_cost(blk), c);
           sim.free(b_live);
           b_live = blk;
         }
@@ -382,13 +414,19 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
         sim.cur = Phase::kMisc;
         sim.charge(t_split_active);  // reduce split
         sim.cur = Phase::kReduce;
-        const LinkParams& rl = reduce_links[(co.gc * s + co.j) * s + co.i];
+        const GroupInfo& rg = reduce_infos[(co.gc * s + co.j) * s + co.i];
         sim.alloc(c_partial_bytes);  // packed
         sim.free(c_partial_bytes);   // c_partial released after packing
         c_result_bytes = mb * plan.c_sub_cols(co.J, co.gk).size() * esize;
         sim.alloc(c_result_bytes);
-        sim.charge(t_reduce_scatter_machine(
-            mach, rl, static_cast<double>(c_partial_bytes), pk));
+        const double rs_bytes = static_cast<double>(c_partial_bytes);
+        const simmpi::CollAlgo alg = resolve_coll_algo(
+            w.coll.reduce_scatter, rg.prof, rs_bytes,
+            w.coll.small_message_bytes);
+        sim.charge_coll(coll_reduce_scatter_cost(mach, rg.prof, rg.link, alg,
+                                                 rs_bytes, pk,
+                                                 /*custom_tree=*/false),
+                        pk);
         sim.free(c_partial_bytes);  // packed
       } else {
         c_result_bytes = c_partial_bytes;  // moved, stays allocated

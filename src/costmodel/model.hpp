@@ -44,6 +44,11 @@ struct Workload {
   i64 esize = 8;  ///< element size (double)
   std::optional<ProcGrid> force_grid{};  ///< Table II grid overrides
   i64 min_kblk = 192;  ///< CA3DMM multi-shift aggregation threshold
+  /// Collective schedules for the replication all-gather and the partial-C
+  /// reduce-scatter (mirrors Ca3dmmOptions::coll, so prediction and
+  /// execution select the same schedule for the same call). The default —
+  /// paper butterfly — reproduces the seeded predictions exactly.
+  simmpi::CollectiveConfig coll{};
 };
 
 struct Prediction {
@@ -54,8 +59,23 @@ struct Prediction {
   i64 peak_bytes = 0;  ///< max over ranks
   double flops_per_rank = 0;
 
+  /// Modeled inter-node traffic of the schedule-aware collectives
+  /// (replication all-gather + partial-C reduce-scatter), bytes per phase.
+  /// Unlike phase_s (max over ranks) these are totals SUMMED over ranks:
+  /// each rank accounts 1/p of its group's aggregate, the same convention
+  /// as the engine's RankStats::inter_bytes.
+  double inter_bytes_s[static_cast<int>(simmpi::Phase::kCount)] = {};
+
   double phase(simmpi::Phase p) const {
     return phase_s[static_cast<int>(p)];
+  }
+  double inter_bytes(simmpi::Phase p) const {
+    return inter_bytes_s[static_cast<int>(p)];
+  }
+  double total_inter_bytes() const {
+    double t = 0;
+    for (double b : inter_bytes_s) t += b;
+    return t;
   }
   /// Percentage of machine peak (Fig. 3/4 y-axis): useful flops over
   /// aggregate nominal peak of all P ranks.

@@ -33,6 +33,15 @@ size_t PgemmEngine::PlanKeyHash::operator()(const PlanKey& key) const {
     h = mix(h, std::hash<int>{}(o.force_grid->pn));
     h = mix(h, std::hash<int>{}(o.force_grid->pk));
   }
+  if (o.coll) {
+    const simmpi::CollectiveConfig& cc = *o.coll;
+    h = mix(h, std::hash<int>{}(static_cast<int>(cc.allgather)));
+    h = mix(h, std::hash<int>{}(static_cast<int>(cc.reduce_scatter)));
+    h = mix(h, std::hash<int>{}(static_cast<int>(cc.bcast)));
+    h = mix(h, std::hash<int>{}(static_cast<int>(cc.allreduce)));
+    h = mix(h, std::hash<i64>{}(cc.small_message_bytes));
+    h = mix(h, std::hash<int>{}(static_cast<int>(cc.data_movement)));
+  }
   return h;
 }
 

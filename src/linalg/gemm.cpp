@@ -55,22 +55,44 @@ void pack_b(const T* b, i64 ldb, bool tb, i64 p0, i64 kc, i64 j0, i64 nc,
 }
 
 /// kMR x kNR micro-kernel on packed panels; accumulates into a local tile
-/// and adds the valid part into C.
+/// and adds the valid part into C. The panels never alias C, so __restrict
+/// lets the compiler keep the accumulators in registers and vectorize the
+/// fully unrolled kMR x kNR update.
 template <typename T>
-void micro_kernel(i64 kc, T alpha, const T* pa, const T* pb, T* c, i64 ldc,
-                  i64 mr, i64 nr) {
+void micro_kernel(i64 kc, T alpha, const T* __restrict pa,
+                  const T* __restrict pb, T* __restrict c, i64 ldc, i64 mr,
+                  i64 nr) {
   T acc[kMR][kNR] = {};
   for (i64 p = 0; p < kc; ++p) {
-    const T* a = pa + p * kMR;
-    const T* b = pb + p * kNR;
+    const T* __restrict a = pa + p * kMR;
+    const T* __restrict b = pb + p * kNR;
+#pragma GCC unroll 4
     for (i64 i = 0; i < kMR; ++i) {
       const T ai = a[i];
+#pragma GCC unroll 8
       for (i64 j = 0; j < kNR; ++j) acc[i][j] += ai * b[j];
     }
   }
   for (i64 i = 0; i < mr; ++i)
     for (i64 j = 0; j < nr; ++j) c[i * ldc + j] += alpha * acc[i][j];
 }
+
+/// Thread-local packing scratch, reused across gemm_blocked calls: each
+/// Cannon step (and each aggregated multi-shift flush) calls gemm_blocked
+/// once, and with many simmpi ranks per process the per-call allocation of
+/// two panel buffers showed up as allocator contention.
+template <typename T>
+struct PackScratch {
+  std::vector<T> pa, pb;
+  static PackScratch& get() {
+    static thread_local PackScratch s{
+        std::vector<T>(static_cast<size_t>(((kMC + kMR - 1) / kMR) * kMR *
+                                           kKC)),
+        std::vector<T>(static_cast<size_t>(((kNC + kNR - 1) / kNR) * kNR *
+                                           kKC))};
+    return s;
+  }
+};
 
 }  // namespace
 
@@ -90,9 +112,11 @@ template <typename T>
 void gemm_blocked(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, T alpha,
                   const T* a, i64 lda, const T* b, i64 ldb, T* c, i64 ldc) {
   if (m == 0 || n == 0 || k == 0) return;
-  // Packing buffers sized for one panel each.
-  std::vector<T> pa(static_cast<size_t>(((kMC + kMR - 1) / kMR) * kMR * kKC));
-  std::vector<T> pb(static_cast<size_t>(((kNC + kNR - 1) / kNR) * kNR * kKC));
+  // Packing buffers sized for one panel each, thread-local so repeated
+  // panel GEMMs don't re-allocate.
+  PackScratch<T>& scratch = PackScratch<T>::get();
+  std::vector<T>& pa = scratch.pa;
+  std::vector<T>& pb = scratch.pb;
 
   for (i64 j0 = 0; j0 < n; j0 += kNC) {
     const i64 nc = std::min(kNC, n - j0);

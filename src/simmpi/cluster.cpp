@@ -172,6 +172,11 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
       ctx_[r].finished = true;
       finished_count_++;
       progress_gen_++;
+      // A blocked peer must re-evaluate its predicate against this bump, or
+      // its checked_gen stays stale and the watchdog (which requires every
+      // blocked rank to have examined the latest generation) can never
+      // declare the deadlock.
+      cv_.notify_all();
     }
     g_ctx = nullptr;
   };
@@ -256,8 +261,10 @@ RankStats Cluster::aggregate_stats() const {
   for (int r = 0; r < nranks_; ++r) {
     const RankStats& s = ctx_[static_cast<size_t>(r)].stats;
     agg.vtime = std::max(agg.vtime, s.vtime);
-    for (int p = 0; p < static_cast<int>(Phase::kCount); ++p)
+    for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
       agg.phase_s[p] = std::max(agg.phase_s[p], s.phase_s[p]);
+      agg.inter_bytes_s[p] += s.inter_bytes_s[p];  // sum: per-rank 1/p shares
+    }
     agg.flops += s.flops;
     agg.peak_bytes = std::max(agg.peak_bytes, s.peak_bytes);
     agg.comm_splits += s.comm_splits;
@@ -275,6 +282,7 @@ std::shared_ptr<CommState> CommState::create(Cluster* cl,
   st->id = cl->next_comm_id_++;
   st->prof = GroupProfile::from_world_ranks(cl->machine_, st->members);
   st->link = group_link(cl->machine_, st->prof);
+  st->cfg = cl->coll_config_;
   st->slots.resize(st->members.size());
   return st;
 }

@@ -27,6 +27,7 @@
 
 #include "common/error.hpp"
 #include "common/partition.hpp"
+#include "simmpi/coll_cost.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/pool.hpp"
@@ -54,6 +55,12 @@ const char* phase_name(Phase p);
 struct RankStats {
   double vtime = 0;                                  ///< final virtual clock
   double phase_s[static_cast<int>(Phase::kCount)] = {};  ///< time per phase
+  /// Modeled inter-node traffic of the collectives this rank took part in,
+  /// per phase. Each member of a collective accounts 1/p of the schedule's
+  /// aggregate inter-node bytes, so summing over ranks recovers the total
+  /// bytes the schedule puts on the network (that sum is what
+  /// aggregate_stats reports).
+  double inter_bytes_s[static_cast<int>(Phase::kCount)] = {};
   double flops = 0;                                  ///< local flops executed
   i64 peak_bytes = 0;                                ///< peak tracked memory
   i64 cur_bytes = 0;
@@ -63,6 +70,14 @@ struct RankStats {
   i64 comm_splits = 0;
 
   double phase(Phase p) const { return phase_s[static_cast<int>(p)]; }
+  double inter_bytes(Phase p) const {
+    return inter_bytes_s[static_cast<int>(p)];
+  }
+  double total_inter_bytes() const {
+    double s = 0;
+    for (double b : inter_bytes_s) s += b;
+    return s;
+  }
 };
 
 /// One virtual-time interval of a rank spent in a phase (trace recording).
@@ -162,7 +177,7 @@ class Cluster {
   const RankStats& stats(int rank) const;
 
   /// Aggregate across ranks: max vtime, max per-phase time, max peak memory,
-  /// summed flops.
+  /// summed flops, summed inter-node bytes (see RankStats::inter_bytes_s).
   RankStats aggregate_stats() const;
 
   /// Enables per-rank timeline recording for subsequent run() calls.
@@ -177,6 +192,13 @@ class Cluster {
   /// Attaches a deterministic fault-injection plan to subsequent run()
   /// calls; pass a default-constructed FaultPlan to clear.
   void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+
+  /// Default collective configuration for communicators created afterwards
+  /// (the world comm of the next run(), and splits of comms that inherited
+  /// it). Call between runs; Comm::set_collective_config overrides per
+  /// communicator. The default reproduces the paper's butterfly costs.
+  void set_collective_config(const CollectiveConfig& c) { coll_config_ = c; }
+  const CollectiveConfig& collective_config() const { return coll_config_; }
 
   /// Deadlock watchdog (on by default): a background thread that aborts the
   /// run with a wait-for-table diagnostic when every live rank is blocked
@@ -233,6 +255,7 @@ class Cluster {
   bool trace_enabled_ = false;
   bool validate_ = false;
   FaultPlan faults_;
+  CollectiveConfig coll_config_;  ///< default for new communicators
 
   // --- run-scoped failure state (guarded by mu_) ---
   bool abort_requested_ = false;

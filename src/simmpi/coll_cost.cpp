@@ -85,4 +85,231 @@ double t_alltoallv_machine(const Machine& m, const LinkParams& l,
          l.beta * max_bytes * m.alltoallv_beta_factor;
 }
 
+// ------------------------------------------------------------------
+// Schedule-aware costs
+// ------------------------------------------------------------------
+
+const char* coll_algo_name(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::kPaperButterfly: return "butterfly";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kRecursive: return "recursive";
+    case CollAlgo::kHierarchical: return "hierarchical";
+    case CollAlgo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+double group_inter_frac(const GroupProfile& g) {
+  if (g.single_node || g.size <= 1) return 0.0;
+  const double r = static_cast<double>(g.max_ranks_per_node);
+  const double p = static_cast<double>(g.size);
+  return 1.0 - (r - 1.0) / (p - 1.0);
+}
+
+namespace {
+
+/// Link between node leaders: one rank per node driving the full NIC share
+/// a single rank can claim.
+LinkParams leader_link(const Machine& m) {
+  return LinkParams{m.alpha_inter,
+                    1.0 / (m.nic_bandwidth * m.single_rank_nic_fraction)};
+}
+
+LinkParams intra_link(const Machine& m) {
+  return LinkParams{m.alpha_intra, 1.0 / m.intra_rank_bandwidth()};
+}
+
+/// Can a two-level schedule actually do anything for this group?
+bool hierarchy_applies(const GroupProfile& g) {
+  return !g.single_node && g.nodes > 1 && g.max_ranks_per_node > 1 &&
+         g.size > 1;
+}
+
+/// Rounded-up power-of-two size for recursive-doubling bandwidth terms on
+/// non-power-of-two groups (Bruck-style dissemination sends ceil rounds).
+double pow2_ceil(int p) { return static_cast<double>(1 << (int)log2d(p)); }
+
+/// Root-scatter cost: alpha log2(p) + beta n (p-1)/p (binomial scatter of a
+/// size-n buffer), the intra-node tail of the hierarchical reduce-scatter.
+double t_scatter(const LinkParams& l, double bytes, int p) {
+  if (p <= 1) return 0.0;
+  return l.alpha * log2d(p) + l.beta * bytes * (p - 1) / p;
+}
+
+}  // namespace
+
+CollAlgo resolve_coll_algo(CollAlgo configured, const GroupProfile& g,
+                           double bytes, i64 small_message_bytes) {
+  CollAlgo a = configured;
+  if (a == CollAlgo::kAuto) {
+    if (hierarchy_applies(g))
+      a = CollAlgo::kHierarchical;
+    else if (bytes <= static_cast<double>(small_message_bytes))
+      a = CollAlgo::kRecursive;
+    else
+      a = CollAlgo::kPaperButterfly;
+  }
+  if (a == CollAlgo::kHierarchical && !hierarchy_applies(g))
+    a = CollAlgo::kPaperButterfly;  // no two-level structure to exploit
+  return a;
+}
+
+CollCost coll_allgather_cost(const Machine& m, const GroupProfile& g,
+                             const LinkParams& l, CollAlgo a, double bytes,
+                             int p) {
+  CollCost c;
+  if (p <= 1) return c;
+  switch (a) {
+    case CollAlgo::kPaperButterfly:
+      c.t = t_allgather(l, bytes, p);
+      c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRing:
+      // p-1 rounds, each moving n/p per rank.
+      c.t = l.alpha * (p - 1) + l.beta * bytes * (p - 1) / p;
+      c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRecursive: {
+      // Recursive doubling: log2 rounds; non-power-of-two groups pay the
+      // rounded-up bandwidth term.
+      const double q = pow2_ceil(p);
+      c.t = l.alpha * log2d(p) + l.beta * bytes * (q - 1) / q;
+      c.inter_bytes = bytes * (q - 1) / q * p * group_inter_frac(g);
+      break;
+    }
+    case CollAlgo::kHierarchical: {
+      // Gather within each node, allgather the per-node aggregates across
+      // the N leaders, broadcast the remote part back inside each node.
+      const int N = g.nodes;
+      const int r = g.max_ranks_per_node;
+      const LinkParams li = intra_link(m);
+      c.t = t_allgather(li, bytes / N, r) +
+            t_allgather(leader_link(m), bytes, N) +
+            t_broadcast(li, bytes * (N - 1) / N, r);
+      c.inter_bytes = bytes * (N - 1);  // each node's share crosses once
+      break;
+    }
+    case CollAlgo::kAuto:
+      CA_ASSERT(false && "resolve_coll_algo first");
+  }
+  return c;
+}
+
+CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
+                                  const LinkParams& l, CollAlgo a,
+                                  double bytes, int p, bool custom_tree) {
+  CollCost c;
+  if (p <= 1) return c;
+  switch (a) {
+    case CollAlgo::kPaperButterfly:
+      c.t = custom_tree ? t_reduce_scatter(l, bytes, p)
+                        : t_reduce_scatter_machine(m, l, bytes, p);
+      c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
+      return c;
+    case CollAlgo::kRing:
+      c.t = l.alpha * (p - 1) + l.beta * bytes * (p - 1) / p;
+      c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRecursive: {
+      // Recursive halving: log2 rounds instead of the library's p-1.
+      const double q = pow2_ceil(p);
+      c.t = l.alpha * log2d(p) + l.beta * bytes * (q - 1) / q;
+      c.inter_bytes = bytes * (q - 1) / q * p * group_inter_frac(g);
+      break;
+    }
+    case CollAlgo::kHierarchical: {
+      // Reduce-scatter within each node, reduce-scatter the partial sums
+      // across the N leaders, scatter each node's slice back to its ranks.
+      const int N = g.nodes;
+      const int r = g.max_ranks_per_node;
+      const LinkParams li = intra_link(m);
+      c.t = t_reduce_scatter(li, bytes, r) +
+            t_reduce_scatter(leader_link(m), bytes, N) +
+            t_scatter(li, bytes / N, r);
+      c.inter_bytes = bytes * (N - 1);
+      break;
+    }
+    case CollAlgo::kAuto:
+      CA_ASSERT(false && "resolve_coll_algo first");
+  }
+  // Library-implemented schedules still hit the machine's large-message
+  // degradation; application trees (custom_tree) bypass it.
+  if (!custom_tree && bytes / p > m.rs_penalty_threshold_bytes)
+    c.t *= m.rs_penalty_factor;
+  return c;
+}
+
+CollCost coll_bcast_cost(const Machine& m, const GroupProfile& g,
+                         const LinkParams& l, CollAlgo a, double bytes,
+                         int p) {
+  CollCost c;
+  if (p <= 1) return c;
+  switch (a) {
+    case CollAlgo::kPaperButterfly:
+      c.t = t_broadcast(l, bytes, p);
+      // Scatter + allgather moves ~2 n (p-1)/p per rank.
+      c.inter_bytes = 2.0 * bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRing:
+      // Pipelined chunks around a ring.
+      c.t = l.alpha * (p - 1) + 2.0 * l.beta * bytes * (p - 1) / p;
+      c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRecursive:
+      // Binomial tree: log2(p) full-message hops.
+      c.t = log2d(p) * (l.alpha + l.beta * bytes);
+      c.inter_bytes = bytes * log2d(p) * group_inter_frac(g);
+      break;
+    case CollAlgo::kHierarchical: {
+      const int N = g.nodes;
+      const int r = g.max_ranks_per_node;
+      c.t = t_broadcast(leader_link(m), bytes, N) +
+            t_broadcast(intra_link(m), bytes, r);
+      c.inter_bytes = 2.0 * bytes * (N - 1);
+      break;
+    }
+    case CollAlgo::kAuto:
+      CA_ASSERT(false && "resolve_coll_algo first");
+  }
+  return c;
+}
+
+CollCost coll_allreduce_cost(const Machine& m, const GroupProfile& g,
+                             const LinkParams& l, CollAlgo a, double bytes,
+                             int p) {
+  CollCost c;
+  if (p <= 1) return c;
+  switch (a) {
+    case CollAlgo::kPaperButterfly:
+      c.t = t_allreduce(l, bytes, p);
+      c.inter_bytes = 2.0 * bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRing:
+      // Ring reduce-scatter + ring allgather.
+      c.t = 2.0 * (l.alpha * (p - 1) + l.beta * bytes * (p - 1) / p);
+      c.inter_bytes = 2.0 * bytes * (p - 1) * group_inter_frac(g);
+      break;
+    case CollAlgo::kRecursive: {
+      // Rabenseifner: recursive-halving RS + recursive-doubling AG.
+      const double q = pow2_ceil(p);
+      c.t = 2.0 * (l.alpha * log2d(p) + l.beta * bytes * (q - 1) / q);
+      c.inter_bytes = 2.0 * bytes * (q - 1) / q * p * group_inter_frac(g);
+      break;
+    }
+    case CollAlgo::kHierarchical: {
+      const CollCost rs = coll_reduce_scatter_cost(
+          m, g, l, CollAlgo::kHierarchical, bytes, p, /*custom_tree=*/true);
+      const CollCost ag =
+          coll_allgather_cost(m, g, l, CollAlgo::kHierarchical, bytes, p);
+      c.t = rs.t + ag.t;
+      c.inter_bytes = rs.inter_bytes + ag.inter_bytes;
+      break;
+    }
+    case CollAlgo::kAuto:
+      CA_ASSERT(false && "resolve_coll_algo first");
+  }
+  return c;
+}
+
 }  // namespace ca3dmm::simmpi

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/partition.hpp"
 #include "simmpi/machine.hpp"
 
 namespace ca3dmm::simmpi {
@@ -46,6 +47,11 @@ struct LinkParams {
 /// Mixes intra/inter-node parameters according to the group composition.
 LinkParams group_link(const Machine& m, const GroupProfile& g);
 
+/// Fraction of a flat schedule's traffic that crosses node boundaries:
+/// 1 - (r-1)/(p-1), the complement of group_link's intra-node mixing
+/// fraction (0 for single-node groups).
+double group_inter_frac(const GroupProfile& g);
+
 /// Point-to-point message cost; `same_node` selects the link class.
 double t_p2p(const Machine& m, double bytes, bool same_node);
 
@@ -62,6 +68,103 @@ double t_alltoallv(const LinkParams& l, double max_bytes, int p);
 /// the MVAPICH2 degradation the paper reports in §IV-C for GPU runs).
 double t_reduce_scatter_machine(const Machine& m, const LinkParams& l,
                                 double bytes, int p);
+
+// ------------------------------------------------------------------
+// Collective schedule selection (the topology-aware collective engine)
+// ------------------------------------------------------------------
+
+/// Collective schedule. The data a collective delivers is identical under
+/// every schedule (and reductions always sum in rank order, so results are
+/// byte-identical); what changes is the modeled cost and the inter-node
+/// traffic it implies.
+enum class CollAlgo {
+  /// The paper's §III-D butterfly formulas, exactly as seeded — the default.
+  kPaperButterfly,
+  /// Ring schedule: bandwidth-optimal, (p-1) latency rounds.
+  kRing,
+  /// Recursive doubling/halving (Rabenseifner for allreduce): log2(p)
+  /// latency rounds; non-power-of-two groups pay a rounded-up bandwidth
+  /// term (Bruck-style dissemination).
+  kRecursive,
+  /// Two-level schedule (Quintin–Hasanov–Lastovetsky): an intra-node phase
+  /// over the ranks of each node plus an inter-node phase over one leader
+  /// per node. Only the leaders touch the network, so a node's traffic
+  /// crosses its NIC once instead of once per rank. Falls back to the paper
+  /// butterfly when the group sits on one node or has one rank per node.
+  kHierarchical,
+  /// Per-call selection by message size and group composition: multi-node
+  /// groups with >1 rank per node use kHierarchical; otherwise messages
+  /// below `CollectiveConfig::small_message_bytes` use kRecursive
+  /// (latency-bound regime) and larger ones the paper butterfly.
+  kAuto,
+};
+
+const char* coll_algo_name(CollAlgo a);
+
+/// Per-communicator collective configuration. The default reproduces the
+/// seeded behaviour bit-for-bit: paper-butterfly costs for every collective
+/// and rank-sharded data movement (which affects host wall-clock only,
+/// never virtual time).
+struct CollectiveConfig {
+  CollAlgo allgather = CollAlgo::kPaperButterfly;
+  CollAlgo reduce_scatter = CollAlgo::kPaperButterfly;
+  CollAlgo bcast = CollAlgo::kPaperButterfly;
+  CollAlgo allreduce = CollAlgo::kPaperButterfly;
+  /// kAuto switches from kRecursive to the bandwidth-minded schedule at
+  /// this total message size.
+  i64 small_message_bytes = 16 * 1024;
+
+  /// Who executes the bulk memcpy/summation of a collective. Virtual time
+  /// is identical either way; this is a host wall-clock knob.
+  enum class DataMovement {
+    kSharded,      ///< every participant moves its own shard, in parallel
+    kLastArriver,  ///< the last-arriving rank moves everything (seed-like)
+  };
+  DataMovement data_movement = DataMovement::kSharded;
+
+  /// All four collectives on kAuto — the tuned mode benches exercise.
+  static CollectiveConfig tuned() {
+    CollectiveConfig c;
+    c.allgather = c.reduce_scatter = c.bcast = c.allreduce = CollAlgo::kAuto;
+    return c;
+  }
+
+  friend bool operator==(const CollectiveConfig&,
+                         const CollectiveConfig&) = default;
+};
+
+/// Modeled cost of one collective: virtual seconds charged to every
+/// participant, plus the aggregate inter-node bytes the schedule puts on
+/// the network (summed over all group members; each participant's RankStats
+/// accounts inter_bytes/p so per-phase sums across ranks equal this).
+struct CollCost {
+  double t = 0;
+  double inter_bytes = 0;
+};
+
+/// The schedule actually used for a call: resolves kAuto by message size /
+/// composition and downgrades kHierarchical to the butterfly when the
+/// group has no two-level structure (single node, or one rank per node).
+CollAlgo resolve_coll_algo(CollAlgo configured, const GroupProfile& g,
+                           double bytes, i64 small_message_bytes);
+
+// Schedule-aware costs. `bytes` is the total message size n (as in the
+// paper's formulas); `a` must be a resolved algorithm (not kAuto). With
+// kPaperButterfly these reproduce t_allgather / t_reduce_scatter(_machine) /
+// t_broadcast / t_allreduce bit-for-bit.
+CollCost coll_allgather_cost(const Machine& m, const GroupProfile& g,
+                             const LinkParams& l, CollAlgo a, double bytes,
+                             int p);
+/// `custom_tree` skips the machine's large-message degradation (application
+/// -implemented reduction trees, paper §IV-C).
+CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
+                                  const LinkParams& l, CollAlgo a,
+                                  double bytes, int p, bool custom_tree);
+CollCost coll_bcast_cost(const Machine& m, const GroupProfile& g,
+                         const LinkParams& l, CollAlgo a, double bytes, int p);
+CollCost coll_allreduce_cost(const Machine& m, const GroupProfile& g,
+                             const LinkParams& l, CollAlgo a, double bytes,
+                             int p);
 
 /// Personalized all-to-all with the machine's congestion/message-rate
 /// factors applied (multi-node groups only) — the cost the redistribution

@@ -142,83 +142,162 @@ std::string validate_collective(const CommState& st, CommState::Op op) {
   return "";
 }
 
-/// Generic collective rendezvous. Every member stores its arguments into its
-/// slot; the last rank to arrive performs the data movement (all buffers are
-/// reachable in the shared address space), computes the virtual cost with
-/// `perform`, and releases the group. Exit clock for everyone is
-/// max(entry clocks) + cost. `finish` runs for every rank, under the lock,
-/// after completion (used by split to fetch its result).
+/// Generic collective rendezvous, in three phases.
 ///
-/// Failure handling: an in-flight cluster abort unwinds the wait via
-/// ClusterAborted; a mismatched op raises Error on the offending rank (peers
-/// unwind through the abort the failure triggers); a consistency-check or
-/// perform failure is stored in st.coll_error and raised as the same Error
-/// on every member.
-template <class Fill, class Perform, class Finish>
+/// Phase A (rendezvous, under the cluster lock): every member stores its
+/// arguments into its slot; the last rank to arrive cross-checks them, runs
+/// `perform` (argument validation + cost/inter-byte computation via the
+/// schedule selected by st.cfg — **no** bulk data movement), and releases
+/// the group. Exit clock for everyone is max(entry clocks) + cost.
+///
+/// Phase B (data movement, no lock): the bulk memcpy/summation runs outside
+/// the lock so other communicators are never blocked behind it. `shard(st,
+/// d)` moves the data owned by destination/shard index d, touching only
+/// buffers no other shard writes; with cfg kSharded every member executes
+/// its own shard in parallel, with kLastArriver the last arriver executes
+/// all of them (the seed's serial behaviour). Results are byte-identical
+/// either way: the shards partition the same writes and reductions always
+/// sum in member order.
+///
+/// Phase C (completion barrier, under the lock): no member may return — and
+/// possibly free its buffers — before every shard finished. The wait is
+/// guaranteed finite (all p members passed phase A and shard work cannot
+/// block or throw), so it does not register with the deadlock watchdog.
+/// `finish` then runs for every rank, under the lock (used by split to
+/// fetch its result).
+///
+/// Failure handling: an in-flight cluster abort unwinds the phase-A wait
+/// via ClusterAborted; a mismatched op raises Error on the offending rank
+/// (peers unwind through the abort the failure triggers); a consistency-
+/// check or perform failure is stored in st.coll_error — tagged with the
+/// generation so no cross-rendezvous read is possible — data movement is
+/// skipped, and every member raises the same Error.
+template <class Fill, class Perform, class Shard, class Finish>
 void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
-                    Perform&& perform, Finish&& finish) {
+                    Perform&& perform, Shard&& shard, Finish&& finish) {
   RankCtx* ctx = current_ctx();
   CA_ASSERT(ctx != nullptr);
   const int p = static_cast<int>(st.members.size());
 
-  std::unique_lock<std::mutex> lk(st.mu());
-  if (st.aborted()) throw ClusterAborted{};
-  st.fault_point(ctx);  // deterministic rank-kill injection point
-  CommState::Slot& slot = st.slots[static_cast<size_t>(me)];
-  slot = CommState::Slot{};
-  fill(slot);
-  slot.t_entry = ctx->clock;
-  if (st.arrived == 0) {
-    st.op = op;
-    st.coll_error.clear();
-  } else if (st.op != op) {
-    throw Error(strprintf(
-        "mismatched collective on comm %llu: rank %d (world %d) posted %s "
-        "while the in-flight operation is %s",
-        static_cast<unsigned long long>(st.id), me,
-        st.members[static_cast<size_t>(me)], coll_op_name(op),
-        coll_op_name(st.op)));
-  }
-  const std::uint64_t gen = st.generation;
-  st.arrived++;
-  if (st.arrived == p) {
-    double t0 = 0;
-    for (const auto& s : st.slots) t0 = std::max(t0, s.t_entry);
-    double cost = 0;
-    if (st.validation()) st.coll_error = validate_collective(st, op);
-    if (st.coll_error.empty()) {
-      try {
-        cost = perform(st);
-      } catch (const Error& e) {
-        st.coll_error = e.what();
-      }
+  bool was_last = false;
+  bool movement_ok = false;
+  bool sharded = true;
+  double exit_time = 0;
+  double inter_per_rank = 0;
+  std::string err;
+  {
+    std::unique_lock<std::mutex> lk(st.mu());
+    if (st.aborted()) throw ClusterAborted{};
+    st.fault_point(ctx);  // deterministic rank-kill injection point
+    CommState::Slot& slot = st.slots[static_cast<size_t>(me)];
+    slot = CommState::Slot{};
+    fill(slot);
+    slot.t_entry = ctx->clock;
+    if (st.arrived == 0) {
+      st.op = op;
+    } else if (st.op != op) {
+      throw Error(strprintf(
+          "mismatched collective on comm %llu: rank %d (world %d) posted %s "
+          "while the in-flight operation is %s",
+          static_cast<unsigned long long>(st.id), me,
+          st.members[static_cast<size_t>(me)], coll_op_name(op),
+          coll_op_name(st.op)));
     }
-    st.exit_time = t0 + cost;
-    st.arrived = 0;
-    st.op = CommState::Op::kNone;
-    st.generation++;
-    st.bump_progress();
-    st.cv().notify_all();
-  } else {
-    BlockedScope bs(st.blocked_counter(), ctx, coll_op_name(op), st.id,
-                    st.arrived, -1);
-    st.cv().wait(lk, [&] {
-      st.note_check(ctx);
-      return st.generation != gen || st.aborted();
-    });
-    if (st.generation == gen) throw ClusterAborted{};
+    const std::uint64_t gen = st.generation;
+    st.arrived++;
+    if (st.arrived == p) {
+      was_last = true;
+      double t0 = 0;
+      for (const auto& s : st.slots) t0 = std::max(t0, s.t_entry);
+      CollCost cost;
+      std::string e;
+      if (st.validation()) e = validate_collective(st, op);
+      if (e.empty()) {
+        try {
+          cost = perform(st);
+        } catch (const Error& ex) {
+          e = ex.what();
+        }
+      }
+      st.coll_error = e;
+      st.coll_error_gen = gen;
+      st.exit_time = t0 + cost.t;
+      st.coll_inter = cost.inter_bytes / p;
+      st.dm_ok = e.empty();
+      st.dm_sharded = st.cfg.data_movement ==
+                      CollectiveConfig::DataMovement::kSharded;
+      st.dm_remaining = p;
+      st.arrived = 0;
+      st.op = CommState::Op::kNone;
+      st.generation++;
+      st.bump_progress();
+      st.cv().notify_all();
+    } else {
+      BlockedScope bs(st.blocked_counter(), ctx, coll_op_name(op), st.id,
+                      st.arrived, -1);
+      st.cv().wait(lk, [&] {
+        st.note_check(ctx);
+        return st.generation != gen || st.aborted();
+      });
+      if (st.generation == gen) throw ClusterAborted{};
+    }
+    // Snapshot the completion state before releasing the lock. The fields
+    // stay valid until the next rendezvous on this comm (which cannot start
+    // before every member checks out of phase C below), but locals keep
+    // this code independent of that.
+    movement_ok = st.dm_ok;
+    sharded = st.dm_sharded;
+    exit_time = st.exit_time;
+    inter_per_rank = st.coll_inter;
+    if (st.coll_error_gen == gen && !st.coll_error.empty())
+      err = st.coll_error;
   }
-  if (!st.coll_error.empty()) throw Error(st.coll_error);
-  const double delta = st.exit_time - ctx->clock;
+
+  // Phase B: bulk data movement, outside the lock.
+  if (movement_ok) {
+    if (sharded)
+      shard(st, me);
+    else if (was_last)
+      for (int d = 0; d < p; ++d) shard(st, d);
+  }
+
+  // Phase C: completion barrier.
+  {
+    std::unique_lock<std::mutex> lk(st.mu());
+    if (--st.dm_remaining == 0) {
+      st.bump_progress();
+      st.cv().notify_all();
+    } else {
+      st.cv().wait(lk, [&] {
+        st.note_check(ctx);
+        return st.dm_remaining == 0;
+      });
+    }
+    if (err.empty()) finish(st);
+  }
+
+  if (!err.empty()) throw Error(err);
+  const double delta = exit_time - ctx->clock;
   CA_ASSERT(delta >= -1e-12);
   ctx->last_op_cost = std::max(0.0, delta);
   ctx->charge(std::max(0.0, delta));
-  finish(st);
+  ctx->stats.inter_bytes_s[static_cast<int>(ctx->cur_phase)] += inter_per_rank;
 }
 
 struct NoFinish {
   void operator()(CommState&) const {}
 };
+
+struct NoShard {
+  void operator()(CommState&, int) const {}
+};
+
+/// Resolves the schedule a collective call uses from the communicator's
+/// configuration. Runs under the rendezvous lock on the last arriver.
+CollAlgo pick_algo(const CommState& st, CollAlgo configured, double bytes) {
+  return resolve_coll_algo(configured, st.prof, bytes,
+                           st.cfg.small_message_bytes);
+}
 
 /// Element-wise sum of `n` elements from `src` into `dst`.
 void reduce_sum_into(void* dst, const void* src, i64 n, Dtype d) {
@@ -299,13 +378,25 @@ void Comm::charge_compute_overlap_budget(double flops, double bytes,
 
 // ---------------- collectives ----------------
 
+void Comm::set_collective_config(const CollectiveConfig& cfg) {
+  std::lock_guard<std::mutex> lk(state_->mu());
+  state_->cfg = cfg;
+}
+
+CollectiveConfig Comm::collective_config() const {
+  std::lock_guard<std::mutex> lk(state_->mu());
+  return state_->cfg;
+}
+
 void Comm::barrier() {
   run_collective(
       *state_, my_index_, CommState::Op::kBarrier, [](CommState::Slot&) {},
       [](CommState& st) {
-        return st.link.alpha * log2d(static_cast<int>(st.members.size()));
+        CollCost c;
+        c.t = st.link.alpha * log2d(static_cast<int>(st.members.size()));
+        return c;
       },
-      NoFinish{});
+      NoShard{}, NoFinish{});
 }
 
 void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
@@ -322,8 +413,8 @@ void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
       },
       [&](CommState& st) {
         const int p = static_cast<int>(st.members.size());
-        // Validate every member's arguments before the first memcpy so a
-        // posting error never corrupts peer buffers.
+        // Validate every member's arguments before any data movement runs
+        // so a posting error never corrupts peer buffers.
         for (int j = 0; j < p; ++j) {
           const auto& sj = st.slots[static_cast<size_t>(j)];
           CA_REQUIRE(sj.i0 == root, "bcast root mismatch on comm %llu",
@@ -331,13 +422,18 @@ void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
           CA_REQUIRE(sj.n0 == bytes, "bcast size mismatch on comm %llu",
                      static_cast<unsigned long long>(st.id));
         }
-        const void* src = st.slots[static_cast<size_t>(root)].rbuf;
-        if (bytes > 0)
-          for (int j = 0; j < p; ++j)
-            if (j != root)
-              std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, src,
-                          static_cast<size_t>(bytes));
-        return t_broadcast(st.link, static_cast<double>(bytes), p);
+        return coll_bcast_cost(
+            st.cluster->machine_, st.prof, st.link,
+            pick_algo(st, st.cfg.bcast, static_cast<double>(bytes)),
+            static_cast<double>(bytes), p);
+      },
+      // Each shard copies the root's buffer into one destination; the root
+      // buffer itself is only read.
+      [&](CommState& st, int d) {
+        if (d == root || bytes <= 0) return;
+        std::memcpy(st.slots[static_cast<size_t>(d)].rbuf,
+                    st.slots[static_cast<size_t>(root)].rbuf,
+                    static_cast<size_t>(bytes));
       },
       NoFinish{});
 }
@@ -358,16 +454,21 @@ void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
           CA_REQUIRE(st.slots[static_cast<size_t>(j)].n0 == bytes_each,
                      "allgather size mismatch on comm %llu",
                      static_cast<unsigned long long>(st.id));
-        if (bytes_each > 0)
-          for (int j = 0; j < p; ++j) {
-            const auto& sj = st.slots[static_cast<size_t>(j)];
-            for (int d = 0; d < p; ++d) {
-              auto& sd = st.slots[static_cast<size_t>(d)];
-              std::memcpy(static_cast<char*>(sd.rbuf) + j * bytes_each,
-                          sj.sbuf, static_cast<size_t>(bytes_each));
-            }
-          }
-        return t_allgather(st.link, static_cast<double>(bytes_each) * p, p);
+        const double total = static_cast<double>(bytes_each) * p;
+        return coll_allgather_cost(st.cluster->machine_, st.prof, st.link,
+                                   pick_algo(st, st.cfg.allgather, total),
+                                   total, p);
+      },
+      // Shard d assembles destination d's result buffer from every member's
+      // contribution; no other shard writes it.
+      [&](CommState& st, int d) {
+        if (bytes_each <= 0) return;
+        const int p = static_cast<int>(st.members.size());
+        auto& sd = st.slots[static_cast<size_t>(d)];
+        for (int j = 0; j < p; ++j)
+          std::memcpy(static_cast<char*>(sd.rbuf) + j * bytes_each,
+                      st.slots[static_cast<size_t>(j)].sbuf,
+                      static_cast<size_t>(bytes_each));
       },
       NoFinish{});
 }
@@ -393,19 +494,26 @@ void Comm::allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
         const int p = static_cast<int>(st.members.size());
         i64 total = 0;
         for (int j = 0; j < p; ++j) total += counts[static_cast<size_t>(j)];
+        return coll_allgather_cost(
+            st.cluster->machine_, st.prof, st.link,
+            pick_algo(st, st.cfg.allgather, static_cast<double>(total)),
+            static_cast<double>(total), p);
+      },
+      // Shard d assembles destination d's result buffer. The counts vector
+      // is identical on every member (MPI contract), so capturing this
+      // rank's copy is valid for any destination.
+      [&](CommState& st, int d) {
+        const int p = static_cast<int>(st.members.size());
+        auto& sd = st.slots[static_cast<size_t>(d)];
         i64 off = 0;
         for (int j = 0; j < p; ++j) {
-          const auto& sj = st.slots[static_cast<size_t>(j)];
           const i64 nj = counts[static_cast<size_t>(j)];
-          for (int d = 0; d < p; ++d) {
-            auto& sd = st.slots[static_cast<size_t>(d)];
-            if (nj > 0)
-              std::memcpy(static_cast<char*>(sd.rbuf) + off, sj.sbuf,
-                          static_cast<size_t>(nj));
-          }
+          if (nj > 0)
+            std::memcpy(static_cast<char*>(sd.rbuf) + off,
+                        st.slots[static_cast<size_t>(j)].sbuf,
+                        static_cast<size_t>(nj));
           off += nj;
         }
-        return t_allgather(st.link, static_cast<double>(total), p);
       },
       NoFinish{});
 }
@@ -429,29 +537,32 @@ void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
         const i64 esize = dtype_size(dtype);
         i64 total = 0;
         for (i64 c : counts) total += c;
+        const double bytes = static_cast<double>(total * esize);
+        return coll_reduce_scatter_cost(
+            st.cluster->machine_, st.prof, st.link,
+            pick_algo(st, st.cfg.reduce_scatter, bytes), bytes, p,
+            custom_tree);
+      },
+      // Shard d reduces segment d into destination d's buffer, always
+      // accumulating in member order (0, 1, ..., p-1) so the result is
+      // byte-identical no matter which thread runs the shard.
+      [&](CommState& st, int d) {
+        const int p = static_cast<int>(st.members.size());
+        const i64 esize = dtype_size(dtype);
+        const i64 nd = counts[static_cast<size_t>(d)];
+        if (nd <= 0) return;
         i64 off = 0;  // element offset of destination segment
-        for (int d = 0; d < p; ++d) {
-          const i64 nd = counts[static_cast<size_t>(d)];
-          auto& sd = st.slots[static_cast<size_t>(d)];
-          if (nd > 0) {
-            // Start from member 0's segment, then accumulate the rest.
-            std::memcpy(sd.rbuf,
-                        static_cast<const char*>(st.slots[0].sbuf) + off * esize,
-                        static_cast<size_t>(nd * esize));
-            for (int j = 1; j < p; ++j)
-              reduce_sum_into(sd.rbuf,
-                              static_cast<const char*>(
-                                  st.slots[static_cast<size_t>(j)].sbuf) +
-                                  off * esize,
-                              nd, dtype);
-          }
-          off += nd;
-        }
-        if (custom_tree)
-          return t_reduce_scatter(st.link, static_cast<double>(total * esize),
-                                  p);
-        return t_reduce_scatter_machine(st.cluster->machine_, st.link,
-                                        static_cast<double>(total * esize), p);
+        for (int j = 0; j < d; ++j) off += counts[static_cast<size_t>(j)];
+        auto& sd = st.slots[static_cast<size_t>(d)];
+        std::memcpy(sd.rbuf,
+                    static_cast<const char*>(st.slots[0].sbuf) + off * esize,
+                    static_cast<size_t>(nd * esize));
+        for (int j = 1; j < p; ++j)
+          reduce_sum_into(sd.rbuf,
+                          static_cast<const char*>(
+                              st.slots[static_cast<size_t>(j)].sbuf) +
+                              off * esize,
+                          nd, dtype);
       },
       NoFinish{});
 }
@@ -474,18 +585,40 @@ void Comm::allreduce_sum(const void* sbuf, void* rbuf, i64 count, Dtype dtype) {
           CA_REQUIRE(st.slots[static_cast<size_t>(j)].n0 == count,
                      "allreduce count mismatch on comm %llu",
                      static_cast<unsigned long long>(st.id));
-        if (count > 0) {
-          // Sum into member 0's rbuf, then copy to all.
-          auto& s0 = st.slots[0];
-          std::memcpy(s0.rbuf, s0.sbuf, static_cast<size_t>(count * esize));
-          for (int j = 1; j < p; ++j)
-            reduce_sum_into(s0.rbuf, st.slots[static_cast<size_t>(j)].sbuf,
-                            count, dtype);
-          for (int j = 1; j < p; ++j)
-            std::memcpy(st.slots[static_cast<size_t>(j)].rbuf, s0.rbuf,
-                        static_cast<size_t>(count * esize));
-        }
-        return t_allreduce(st.link, static_cast<double>(count * esize), p);
+        const double bytes = static_cast<double>(count * esize);
+        return coll_allreduce_cost(st.cluster->machine_, st.prof, st.link,
+                                   pick_algo(st, st.cfg.allreduce, bytes),
+                                   bytes, p);
+      },
+      // Allreduce shards by element range, not by destination: shard d sums
+      // elements [d*count/p, (d+1)*count/p) over every member (in member
+      // order, into member 0's buffer, exactly like the serial path) and
+      // fans the result out to all destinations. Total work stays equal to
+      // the serial path's, and the ranges are disjoint so no two shards
+      // touch the same elements of any buffer.
+      [&](CommState& st, int d) {
+        if (count <= 0) return;
+        const int p = static_cast<int>(st.members.size());
+        const i64 esize = dtype_size(dtype);
+        const i64 lo = count * d / p;
+        const i64 hi = count * (d + 1) / p;
+        const i64 n = hi - lo;
+        if (n <= 0) return;
+        auto& s0 = st.slots[0];
+        char* acc = static_cast<char*>(s0.rbuf) + lo * esize;
+        std::memcpy(acc, static_cast<const char*>(s0.sbuf) + lo * esize,
+                    static_cast<size_t>(n * esize));
+        for (int j = 1; j < p; ++j)
+          reduce_sum_into(acc,
+                          static_cast<const char*>(
+                              st.slots[static_cast<size_t>(j)].sbuf) +
+                              lo * esize,
+                          n, dtype);
+        for (int j = 1; j < p; ++j)
+          std::memcpy(static_cast<char*>(
+                          st.slots[static_cast<size_t>(j)].rbuf) +
+                          lo * esize,
+                      acc, static_cast<size_t>(n * esize));
       },
       NoFinish{});
 }
@@ -511,8 +644,8 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
         s.v3 = &rdispls;
       },
       [&](CommState& st) {
-        // Cross-check the full exchange matrix before the first memcpy so a
-        // count mismatch never corrupts peer buffers.
+        // Cross-check the full exchange matrix before any data movement so
+        // a count mismatch never corrupts peer buffers.
         for (int src = 0; src < p; ++src) {
           const auto& ss = st.slots[static_cast<size_t>(src)];
           for (int dst = 0; dst < p; ++dst) {
@@ -523,28 +656,39 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
           }
         }
         double max_bytes = 0;
+        double off_self = 0;  // aggregate bytes that leave their source rank
         for (int src = 0; src < p; ++src) {
           const auto& ss = st.slots[static_cast<size_t>(src)];
           i64 sent = 0, recvd = 0;
           for (int dst = 0; dst < p; ++dst) {
-            const auto& sd = st.slots[static_cast<size_t>(dst)];
-            const i64 n = (*ss.v0)[static_cast<size_t>(dst)];
-            if (n > 0)
-              std::memcpy(static_cast<char*>(sd.rbuf) +
-                              (*sd.v3)[static_cast<size_t>(src)],
-                          static_cast<const char*>(ss.sbuf) +
-                              (*ss.v1)[static_cast<size_t>(dst)],
-                          static_cast<size_t>(n));
             if (dst != src) {  // self-copies are not network traffic
-              sent += n;
+              sent += (*ss.v0)[static_cast<size_t>(dst)];
               recvd += (*ss.v2)[static_cast<size_t>(dst)];
             }
           }
+          off_self += static_cast<double>(sent);
           max_bytes = std::max(max_bytes,
                                static_cast<double>(std::max(sent, recvd)));
         }
-        return t_alltoallv_machine(st.cluster->machine_, st.link, max_bytes,
-                                   p, st.prof.single_node);
+        CollCost c;
+        c.t = t_alltoallv_machine(st.cluster->machine_, st.link, max_bytes,
+                                  p, st.prof.single_node);
+        c.inter_bytes = off_self * group_inter_frac(st.prof);
+        return c;
+      },
+      // Shard d fills destination d's receive buffer from every source.
+      [&](CommState& st, int d) {
+        auto& sd = st.slots[static_cast<size_t>(d)];
+        for (int src = 0; src < p; ++src) {
+          const auto& ss = st.slots[static_cast<size_t>(src)];
+          const i64 n = (*ss.v0)[static_cast<size_t>(d)];
+          if (n > 0)
+            std::memcpy(static_cast<char*>(sd.rbuf) +
+                            (*sd.v3)[static_cast<size_t>(src)],
+                        static_cast<const char*>(ss.sbuf) +
+                            (*ss.v1)[static_cast<size_t>(d)],
+                        static_cast<size_t>(n));
+        }
       },
       NoFinish{});
 }
@@ -575,13 +719,17 @@ Comm Comm::split(int color, int key) const {
           for (int j : idxs)
             members.push_back(st.members[static_cast<size_t>(j)]);
           auto ns = CommState::create(st.cluster, std::move(members));
+          ns->cfg = st.cfg;  // children inherit the parent's configuration
           for (size_t i = 0; i < idxs.size(); ++i)
             st.split_out[static_cast<size_t>(idxs[i])] = {ns,
                                                           static_cast<int>(i)};
         }
-        // Modelled as an allgather of one small word per rank.
-        return t_allgather(st.link, 8.0 * p, p);
+        // Modelled as an allgather of one small word per rank; always the
+        // butterfly schedule (setup metadata, never worth tuning).
+        return coll_allgather_cost(st.cluster->machine_, st.prof, st.link,
+                                   CollAlgo::kPaperButterfly, 8.0 * p, p);
       },
+      NoShard{},
       [&](CommState& st) {
         result = st.split_out[static_cast<size_t>(my_index_)];
       });

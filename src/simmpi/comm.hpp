@@ -62,6 +62,13 @@ class Comm {
   /// comms); dup()ed handles share the id, split always mints a new one.
   std::uint64_t id() const;
 
+  /// Overrides the collective configuration of this communicator (shared
+  /// with every dup() of it). Charges no virtual time. Like an MPI info
+  /// hint, it must be set consistently on all members, and only while no
+  /// collective is in flight on the communicator (e.g. right after split).
+  void set_collective_config(const CollectiveConfig& cfg);
+  CollectiveConfig collective_config() const;
+
   // ---- point-to-point (rendezvous semantics) ----
   void send_bytes(const void* buf, i64 bytes, int dst, int tag);
   void recv_bytes(void* buf, i64 bytes, int src, int tag);

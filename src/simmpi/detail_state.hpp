@@ -48,17 +48,36 @@ struct CommState {
   std::vector<int> members;  ///< world rank of each group rank
   GroupProfile prof;
   LinkParams link;
+  /// Collective configuration: copied from the cluster default at creation,
+  /// overridable per communicator via Comm::set_collective_config. Guarded
+  /// by the rendezvous lock.
+  CollectiveConfig cfg;
 
   // --- rendezvous ---
   Op op = Op::kNone;
   int arrived = 0;
   std::uint64_t generation = 0;
   double exit_time = 0;
+  /// Per-member share of the completed collective's modeled inter-node
+  /// bytes (aggregate / p), accounted into RankStats by every member.
+  double coll_inter = 0;
   /// Non-empty when the in-flight rendezvous failed a consistency check (or
-  /// its perform step threw): every member throws this as a ca3dmm::Error,
-  /// so collective argument errors are raised collectively. Cleared by the
-  /// first arriver of the next rendezvous.
+  /// its cost/validation step threw): every member throws this as a
+  /// ca3dmm::Error, so collective argument errors are raised collectively.
+  /// Tagged with the generation it belongs to so a slow waiter of an old
+  /// rendezvous can never observe a newer rendezvous's error (or vice
+  /// versa).
   std::string coll_error;
+  std::uint64_t coll_error_gen = 0;
+
+  // --- data-movement completion barrier ---
+  // The bulk memcpy/summation of a collective runs *outside* the rendezvous
+  // lock, sharded across the participating rank threads; these fields make
+  // every member wait until all shards finished before returning (a member
+  // that returned early could free buffers a peer's shard still touches).
+  bool dm_ok = false;       ///< movement may run (no validation error)
+  bool dm_sharded = true;   ///< snapshot of cfg.data_movement at completion
+  int dm_remaining = 0;     ///< members yet to check out of the barrier
 
   struct Slot {
     const void* sbuf = nullptr;

@@ -200,6 +200,20 @@ TEST(Ca3dmm, ReplicationFactorGreaterThanTwo) {
   run_case(cfg2);
 }
 
+TEST(Ca3dmm, TunedCollectiveSchedules) {
+  // Ca3dmmOptions::coll overrides the replication and reduction
+  // communicators' schedules; tuned (auto) selection must leave the result
+  // bit-correct on a grid exercising both collectives (c=2, pk=2).
+  Cfg cfg{40, 40, 40, 16};
+  cfg.opt.force_grid = ProcGrid{4, 2, 2};
+  cfg.opt.coll = simmpi::CollectiveConfig::tuned();
+  run_case(cfg);
+  Cfg cfg2{8, 64, 64, 16};
+  cfg2.opt.force_grid = ProcGrid{2, 8, 1};  // c=4, replicates A
+  cfg2.opt.coll = simmpi::CollectiveConfig::tuned();
+  run_case(cfg2);
+}
+
 TEST(Ca3dmm, RepeatedMultiplySamePlan) {
   // Reusing one plan for several multiplications (driver-algorithm pattern,
   // e.g. density-matrix purification).
