@@ -9,6 +9,8 @@
 // class; the split between "replicate" and "reduce" shifts with the class
 // (reduce-heavy for large-K, replicate-heavy for large-M/flat).
 #include "bench_common.hpp"
+#include "costmodel/drift.hpp"
+#include "simmpi/trace.hpp"
 
 namespace ca3dmm::bench {
 namespace {
@@ -18,6 +20,10 @@ using costmodel::Prediction;
 using costmodel::Workload;
 using simmpi::Machine;
 using simmpi::Phase;
+
+/// Set when the executed drift gate fails; main() turns it into a nonzero
+/// exit so CI rejects a cost model that drifted away from the engine.
+bool g_drift_failed = false;
 
 struct Case {
   const char* cls;
@@ -72,6 +78,62 @@ void print_backend_breakdown() {
       " inter-node bytes of the replication and reduction collectives)\n");
 }
 
+/// Executed drift gate: miniature, evenly divisible analogues of the four
+/// Fig. 5 classes actually run on the threaded engine (P=16 over 4 simulated
+/// nodes) with tracing on, and the per-phase virtual times are joined
+/// against the cost model. Even shapes make every rank symmetric, so the
+/// model must match to rounding (the same 1e-9-rtol regime
+/// tests/test_costmodel.cpp pins); any phase outside the tight tolerance
+/// fails the binary. The last case's trace is exported as Chrome trace-event
+/// JSON for the CI artifact.
+void print_executed_drift() {
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 4;
+  mach.cores_per_node = 4;
+  const int P = 16;
+  struct MiniCase {
+    const char* cls;
+    i64 m, n, k;
+    ProcGrid grid;
+  };
+  const MiniCase minis[] = {
+      {"square", 96, 96, 96, ProcGrid{2, 4, 2}},
+      {"large-K", 32, 32, 512, ProcGrid{2, 2, 4}},
+      {"large-M", 512, 32, 32, ProcGrid{4, 2, 2}},
+      {"flat", 96, 96, 32, ProcGrid{4, 4, 1}},
+  };
+  std::printf(
+      "\n=== executed drift gate: engine vs model, miniature classes, "
+      "P=%d ===\n",
+      P);
+  bool wrote_trace = false;
+  for (const MiniCase& cs : minis) {
+    Workload w{cs.m, cs.n, cs.k};
+    w.force_grid = cs.grid;
+    simmpi::Cluster cl(P, mach);
+    cl.set_trace(true);
+    const costmodel::DriftReport rep =
+        costmodel::check_drift(Algo::kCa3dmm, w, cl);
+    std::printf("\n-- %s  m=%lld n=%lld k=%lld  grid %s --\n%s", cs.cls,
+                static_cast<long long>(cs.m), static_cast<long long>(cs.n),
+                static_cast<long long>(cs.k), grid_str(cs.grid).c_str(),
+                rep.table().c_str());
+    if (!rep.ok()) {
+      g_drift_failed = true;
+      std::printf("^^ DRIFT GATE FAILED for class %s\n", cs.cls);
+    }
+    if (!wrote_trace) {
+      // One representative Perfetto-loadable trace for the CI artifact.
+      simmpi::write_chrome_trace_file(cl, "bench_fig5_trace.json");
+      std::printf("(trace written to bench_fig5_trace.json)\n");
+      wrote_trace = true;
+    }
+  }
+  std::printf("\nexecuted drift gate: %s (rtol %.1e)\n",
+              g_drift_failed ? "FAIL" : "ok",
+              costmodel::DriftOptions{}.rtol);
+}
+
 void print_tables() {
   const Machine mach = Machine::phoenix_mpi();
   std::printf(
@@ -107,6 +169,7 @@ void print_tables() {
       "\npaper: both libraries show similar compute and similar total\n"
       "       communication (replicate+reduce) in every class.\n");
   print_backend_breakdown();
+  print_executed_drift();
 }
 
 void register_benchmarks() {
@@ -133,6 +196,8 @@ void register_benchmarks() {
 
 int main(int argc, char** argv) {
   ca3dmm::bench::register_benchmarks();
-  return ca3dmm::bench::run_bench_main(argc, argv,
-                                       ca3dmm::bench::print_tables);
+  const int rc = ca3dmm::bench::run_bench_main(argc, argv,
+                                               ca3dmm::bench::print_tables);
+  if (rc != 0) return rc;
+  return ca3dmm::bench::g_drift_failed ? 3 : 0;
 }

@@ -175,6 +175,8 @@ void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
                               sub_bytes[static_cast<size_t>(co.gc)],
                               gathered.data(), sub_bytes);
         a_blk.resize(mb * plan.kpart(co.gk, co.j).size());
+        simmpi::trace_marker("ca3dmm:assemble A",
+                             static_cast<double>(a_blk.size()) * sizeof(T));
         assemble_a_block<T>(gathered.data(), mb, sub_cols, a_blk.data());
         a_ptr = a_blk.data();
         a_init.release();
@@ -219,6 +221,8 @@ void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
       if (opt.coll) reduce.set_collective_config(*opt.coll);
       PhaseScope ps(world, Phase::kReduce);
       // Pack column sub-blocks in destination (gk) order.
+      simmpi::trace_marker("ca3dmm:pack C",
+                           static_cast<double>(mb * nb) * sizeof(T));
       TrackedBuffer<T> packed(mb * nb);
       std::vector<i64> counts(static_cast<size_t>(pk));
       i64 pos = 0;

@@ -29,13 +29,20 @@ double grid_objective(i64 m, i64 n, i64 k, const ProcGrid& g,
 }
 
 double grid_memory_elems(i64 m, i64 n, i64 k, const ProcGrid& g) {
-  const double P = g.active();
-  const double c = g.c();
-  const double md = static_cast<double>(m), nd = static_cast<double>(n),
-               kd = static_cast<double>(k);
-  const double repl = g.replicates_a() ? (c * md * kd + kd * nd)
-                                       : (md * kd + c * kd * nd);
-  return 2.0 * repl / P + static_cast<double>(g.pk) * md * nd / P;
+  // Eq. (11) evaluated with ceil-based per-rank block extents, like
+  // grid_surface: the nominal m*k/P form is the average, and for
+  // non-divisible shapes it underestimates the worst rank's working set, so
+  // the max_memory_elems feasibility check could admit grids whose measured
+  // peak exceeds the budget at runtime. The widest rank of the 2-D engine
+  // dual-buffers an mb x kb A block and a kb x nb B block and accumulates an
+  // mb x nb C partial, with kb the widest Cannon k-slice (the k range of a
+  // replication group, ceil(k/pk), split over s = min(pm, pn) shifts).
+  // Divisible shapes reduce exactly to the nominal eq. (11) value.
+  const double mb = static_cast<double>(ceil_div(m, g.pm));
+  const double nb = static_cast<double>(ceil_div(n, g.pn));
+  const double kb =
+      static_cast<double>(ceil_div(ceil_div(k, g.pk), g.s()));
+  return 2.0 * kb * (mb + nb) + mb * nb;
 }
 
 namespace {

@@ -1,0 +1,192 @@
+#include "costmodel/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/ctf_like.hpp"
+#include "baselines/p25d.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/ca3dmm.hpp"
+
+namespace ca3dmm::costmodel {
+
+namespace {
+
+using simmpi::Cluster;
+using simmpi::Comm;
+using simmpi::Phase;
+using simmpi::RankStats;
+
+void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
+                std::vector<double>& buf) {
+  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j)
+        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+}
+
+PhaseDrift join(const char* name, double pred, double exec,
+                const DriftOptions& o) {
+  PhaseDrift d;
+  d.name = name;
+  d.predicted_s = pred;
+  d.executed_s = exec;
+  const double scale = std::max(std::abs(pred), std::abs(exec));
+  const double diff = std::abs(exec - pred);
+  d.rel = scale > 0 ? diff / scale : 0.0;
+  d.flagged = diff > o.atol_seconds + o.rtol * scale;
+  return d;
+}
+
+}  // namespace
+
+bool DriftReport::ok() const {
+  if (total.flagged || peak_bytes_flagged) return false;
+  for (const PhaseDrift& d : phases)
+    if (d.flagged) return false;
+  return true;
+}
+
+std::string DriftReport::table() const {
+  std::string out =
+      strprintf("%-14s %14s %14s %10s  %s\n", "phase", "predicted ms",
+                "executed ms", "drift", "gate");
+  const auto row = [&](const PhaseDrift& d) {
+    if (d.predicted_s == 0 && d.executed_s == 0) return;
+    out += strprintf("%-14s %14.6f %14.6f %9.4f%%  %s\n", d.name,
+                     d.predicted_s * 1e3, d.executed_s * 1e3, d.rel * 100.0,
+                     d.flagged ? "FAIL" : "ok");
+  };
+  for (const PhaseDrift& d : phases) row(d);
+  row(total);
+  out += strprintf("%-14s %14lld %14lld %10s  %s\n", "peak bytes",
+                   static_cast<long long>(peak_bytes_predicted),
+                   static_cast<long long>(peak_bytes_executed), "",
+                   peak_bytes_flagged ? "FAIL" : "ok");
+  return out;
+}
+
+DriftReport drift_report(const Prediction& pred, const RankStats& executed,
+                         const DriftOptions& opts) {
+  DriftReport rep;
+  rep.opts = opts;
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p)
+    rep.phases.push_back(join(simmpi::phase_name(static_cast<Phase>(p)),
+                              pred.phase_s[p], executed.phase_s[p], opts));
+  rep.total = join("total", pred.t_total, executed.vtime, opts);
+  rep.peak_bytes_predicted = pred.peak_bytes;
+  rep.peak_bytes_executed = executed.peak_bytes;
+  rep.peak_bytes_flagged = pred.peak_bytes != executed.peak_bytes;
+  return rep;
+}
+
+RankStats run_workload(Algo algo, const Workload& w, Cluster& cl) {
+  const int P = cl.nranks();
+  BlockLayout a_nat, b_nat, c_nat;
+  Ca3dmmPlan ca_plan;
+  CosmaPlan cs_plan;
+  CtfPlan ctf_plan;
+  SummaPlan su_plan;
+  P25dPlan pd_plan;
+  Ca3dmmOptions ca_opt;
+  ca_opt.force_grid = w.force_grid;
+  ca_opt.min_kblk = w.min_kblk;
+  ca_opt.coll = w.coll;
+
+  switch (algo) {
+    case Algo::kCa3dmm:
+    case Algo::kCa3dmmSumma:
+      ca_opt.use_summa = (algo == Algo::kCa3dmmSumma);
+      ca_plan = Ca3dmmPlan::make(w.m, w.n, w.k, P, ca_opt);
+      a_nat = ca_plan.a_native();
+      b_nat = ca_plan.b_native();
+      c_nat = ca_plan.c_native();
+      break;
+    case Algo::kCosma:
+      cs_plan = CosmaPlan::make(w.m, w.n, w.k, P, w.force_grid);
+      a_nat = cs_plan.a_native();
+      b_nat = cs_plan.b_native();
+      c_nat = cs_plan.c_native();
+      break;
+    case Algo::kCarma:
+      cs_plan = CosmaPlan::make_carma(w.m, w.n, w.k, P);
+      a_nat = cs_plan.a_native();
+      b_nat = cs_plan.b_native();
+      c_nat = cs_plan.c_native();
+      break;
+    case Algo::kCtf:
+      ctf_plan = CtfPlan::make(w.m, w.n, w.k, P);
+      a_nat = ctf_plan.inner.a_native();
+      b_nat = ctf_plan.inner.b_native();
+      c_nat = ctf_plan.inner.c_native();
+      break;
+    case Algo::kSumma:
+      su_plan = SummaPlan::make(w.m, w.n, w.k, P);
+      a_nat = su_plan.a_native();
+      b_nat = su_plan.b_native();
+      c_nat = su_plan.c_native();
+      break;
+    case Algo::kP25d: {
+      std::optional<std::pair<int, int>> qc;
+      if (w.force_grid)
+        qc = std::make_pair(w.force_grid->pm, w.force_grid->pk);
+      pd_plan = P25dPlan::make(w.m, w.n, w.k, P, qc);
+      a_nat = pd_plan.a_native();
+      b_nat = pd_plan.b_native();
+      c_nat = pd_plan.c_native();
+      break;
+    }
+  }
+
+  const BlockLayout a_lay =
+      w.custom_layout ? BlockLayout::col_1d(w.m, w.k, P) : a_nat;
+  const BlockLayout b_lay =
+      w.custom_layout ? BlockLayout::col_1d(w.k, w.n, P) : b_nat;
+  const BlockLayout c_lay =
+      w.custom_layout ? BlockLayout::col_1d(w.m, w.n, P) : c_nat;
+
+  cl.run([&](Comm& world) {
+    std::vector<double> a, b;
+    fill_local(a_lay, world.rank(), 1, a);
+    fill_local(b_lay, world.rank(), 2, b);
+    std::vector<double> c(static_cast<size_t>(c_lay.local_size(world.rank())));
+    switch (algo) {
+      case Algo::kCa3dmm:
+      case Algo::kCa3dmmSumma:
+        ca3dmm_multiply<double>(world, ca_plan, false, false, a_lay, a.data(),
+                                b_lay, b.data(), c_lay, c.data());
+        break;
+      case Algo::kCosma:
+      case Algo::kCarma:
+        cosma_multiply<double>(world, cs_plan, false, false, a_lay, a.data(),
+                               b_lay, b.data(), c_lay, c.data());
+        break;
+      case Algo::kCtf:
+        ctf_multiply<double>(world, ctf_plan, false, false, a_lay, a.data(),
+                             b_lay, b.data(), c_lay, c.data());
+        break;
+      case Algo::kSumma:
+        summa_multiply<double>(world, su_plan, false, false, a_lay, a.data(),
+                               b_lay, b.data(), c_lay, c.data());
+        break;
+      case Algo::kP25d:
+        p25d_multiply<double>(world, pd_plan, false, false, a_lay, a.data(),
+                              b_lay, b.data(), c_lay, c.data());
+        break;
+    }
+  });
+  return cl.aggregate_stats();
+}
+
+DriftReport check_drift(Algo algo, const Workload& w, Cluster& cl,
+                        const DriftOptions& opts) {
+  const RankStats executed = run_workload(algo, w, cl);
+  const Prediction pred = predict(algo, w, cl.nranks(), cl.machine());
+  return drift_report(pred, executed, opts);
+}
+
+}  // namespace ca3dmm::costmodel

@@ -59,13 +59,16 @@ PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.plan_hits;
     stats_.splits_saved += lru_.front().splits_per_call;
+    simmpi::trace_marker("engine:plan hit");
     return lru_.front();
   }
   // Miss: plan and split the communicators (collective — every rank misses
   // on the same request of the same stream).
   ++stats_.plan_misses;
+  simmpi::trace_marker("engine:plan miss");
   Entry e;
   e.key = key;
+  simmpi::trace_marker("engine:plan build");
   e.plan = Ca3dmmPlan::make(key.m, key.n, key.k, key.nranks, key.opt);
   e.comms = PlanComms::make(world_, e.plan);
   const RankCoord co = e.plan.coord(world_.rank());
@@ -79,6 +82,7 @@ PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.plan_evictions;
+    simmpi::trace_marker("engine:plan evict");
   }
   return lru_.front();
 }

@@ -92,6 +92,8 @@ void redistribute(simmpi::Comm& comm, const BlockLayout& src,
   // Tracked: redistribution staging is part of the per-rank memory footprint
   // the paper's Table I measures.
   simmpi::TrackedBuffer<T> sendbuf(send_total);
+  simmpi::trace_marker("redistribute:pack",
+                       static_cast<double>(send_total * esize));
   {
     i64 pos = 0;
     for (int d = 0; d < P; ++d)
@@ -116,6 +118,8 @@ void redistribute(simmpi::Comm& comm, const BlockLayout& src,
                        rcounts, rdispls);
 
   // --- unpack: same canonical order; apply transpose when writing ---
+  simmpi::trace_marker("redistribute:unpack",
+                       static_cast<double>(recv_total * esize));
   {
     i64 pos = 0;
     for (int s = 0; s < P; ++s)
@@ -148,6 +152,8 @@ RedistVolume redistribution_volume(const BlockLayout& src,
                                    i64 esize) {
   const int P = src.nranks();
   RedistVolume v;
+  v.send_bytes.assign(static_cast<size_t>(P), 0);
+  v.recv_bytes.assign(static_cast<size_t>(P), 0);
   v.send_staging_bytes.assign(static_cast<size_t>(P), 0);
   v.recv_staging_bytes.assign(static_cast<size_t>(P), 0);
   if (!transpose && src == dst) {
@@ -158,7 +164,6 @@ RedistVolume redistribution_volume(const BlockLayout& src,
     }
     return v;
   }
-  std::vector<i64> send(static_cast<size_t>(P), 0), recv(static_cast<size_t>(P), 0);
   for (int s = 0; s < P; ++s)
     for (int d = 0; d < P; ++d) {
       i64 bytes = 0;
@@ -169,12 +174,12 @@ RedistVolume redistribution_volume(const BlockLayout& src,
       v.send_staging_bytes[static_cast<size_t>(s)] += bytes;
       v.recv_staging_bytes[static_cast<size_t>(d)] += bytes;
       if (s == d) continue;  // local copies are not network traffic
-      send[static_cast<size_t>(s)] += bytes;
-      recv[static_cast<size_t>(d)] += bytes;
+      v.send_bytes[static_cast<size_t>(s)] += bytes;
+      v.recv_bytes[static_cast<size_t>(d)] += bytes;
     }
   for (int r = 0; r < P; ++r) {
-    v.max_send_bytes = std::max(v.max_send_bytes, send[static_cast<size_t>(r)]);
-    v.max_recv_bytes = std::max(v.max_recv_bytes, recv[static_cast<size_t>(r)]);
+    v.max_send_bytes = std::max(v.max_send_bytes, v.send_bytes[static_cast<size_t>(r)]);
+    v.max_recv_bytes = std::max(v.max_recv_bytes, v.recv_bytes[static_cast<size_t>(r)]);
   }
   return v;
 }

@@ -40,6 +40,8 @@ void redistribute(simmpi::Comm& comm, const BlockLayout& src,
 struct RedistVolume {
   i64 max_send_bytes = 0;  ///< max over ranks, self excluded
   i64 max_recv_bytes = 0;  ///< max over ranks, self excluded
+  std::vector<i64> send_bytes;  ///< per rank, self excluded (wire traffic)
+  std::vector<i64> recv_bytes;  ///< per rank, self excluded (wire traffic)
   std::vector<i64> send_staging_bytes;  ///< per rank, self included
   std::vector<i64> recv_staging_bytes;  ///< per rank, self included
 };

@@ -77,8 +77,10 @@ std::string Cluster::wait_for_table_locked() const {
           r, c.blocked_op, static_cast<unsigned long long>(c.blocked_comm),
           c.blocked_peer, c.blocked_tag, c.clock);
     } else {
-      out += strprintf("  rank %3d  running                       vtime=%.9g\n",
-                       r, c.clock);
+      // A running rank's clock is written by its thread without mu_, so it
+      // cannot be read here (ThreadSanitizer-verified); blocked and
+      // finished ranks published theirs before taking the lock.
+      out += strprintf("  rank %3d  running\n", r);
     }
   }
   return out;
@@ -134,7 +136,8 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
     ctx_[r] = RankCtx{};
     ctx_[r].world_rank = r;
     ctx_[r].machine = &machine_;
-    ctx_[r].trace_enabled = trace_enabled_;
+    ctx_[r].trace_enabled = trace_cfg_.enabled;
+    ctx_[r].trace_markers = trace_cfg_.enabled && trace_cfg_.markers;
     for (const FaultPlan::StraggleNode& s : faults_.stragglers)
       if (s.node == machine_.node_of_rank(r))
         ctx_[r].slowdown *= s.factor;
@@ -234,26 +237,15 @@ const RankStats& Cluster::stats(int rank) const {
   return ctx_[static_cast<size_t>(rank)].stats;
 }
 
+const std::vector<TraceRecord>& Cluster::trace(int rank) const {
+  CA_ASSERT(rank >= 0 && rank < nranks_);
+  return ctx_[static_cast<size_t>(rank)].trace;
+}
+
 void Cluster::write_chrome_trace(const std::string& path) const {
-  CA_REQUIRE(trace_enabled_,
+  CA_REQUIRE(trace_cfg_.enabled,
              "write_chrome_trace needs set_trace(true) before run()");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  CA_REQUIRE(f != nullptr, "cannot open trace file %s", path.c_str());
-  std::fputs("[\n", f);
-  bool first = true;
-  for (int r = 0; r < nranks_; ++r) {
-    for (const TraceEvent& e : ctx_[static_cast<size_t>(r)].trace) {
-      if (!first) std::fputs(",\n", f);
-      first = false;
-      // 1 trace microsecond = 1 simulated microsecond.
-      std::fprintf(f,
-                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                   "\"pid\":0,\"tid\":%d}",
-                   phase_name(e.phase), e.t0 * 1e6, (e.t1 - e.t0) * 1e6, r);
-    }
-  }
-  std::fputs("\n]\n", f);
-  std::fclose(f);
+  write_chrome_trace_file(*this, path);
 }
 
 RankStats Cluster::aggregate_stats() const {
@@ -264,6 +256,8 @@ RankStats Cluster::aggregate_stats() const {
     for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
       agg.phase_s[p] = std::max(agg.phase_s[p], s.phase_s[p]);
       agg.inter_bytes_s[p] += s.inter_bytes_s[p];  // sum: per-rank 1/p shares
+      agg.bytes_sent_s[p] += s.bytes_sent_s[p];
+      agg.bytes_recvd_s[p] += s.bytes_recvd_s[p];
     }
     agg.flops += s.flops;
     agg.peak_bytes = std::max(agg.peak_bytes, s.peak_bytes);

@@ -31,6 +31,7 @@
 #include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/pool.hpp"
+#include "simmpi/trace.hpp"
 
 namespace ca3dmm::simmpi {
 
@@ -61,6 +62,13 @@ struct RankStats {
   /// bytes the schedule puts on the network (that sum is what
   /// aggregate_stats reports).
   double inter_bytes_s[static_cast<int>(Phase::kCount)] = {};
+  /// Logical payload bytes this rank sent / received per phase: p2p message
+  /// sizes, and for collectives the rank's own contribution / share of the
+  /// delivered data (e.g. allgather: send my block, receive everyone
+  /// else's). Schedule-independent by construction — redistribution sends
+  /// must match redistribution_volume's per-rank prediction exactly.
+  double bytes_sent_s[static_cast<int>(Phase::kCount)] = {};
+  double bytes_recvd_s[static_cast<int>(Phase::kCount)] = {};
   double flops = 0;                                  ///< local flops executed
   i64 peak_bytes = 0;                                ///< peak tracked memory
   i64 cur_bytes = 0;
@@ -78,12 +86,15 @@ struct RankStats {
     for (double b : inter_bytes_s) s += b;
     return s;
   }
-};
-
-/// One virtual-time interval of a rank spent in a phase (trace recording).
-struct TraceEvent {
-  Phase phase;
-  double t0, t1;  ///< virtual seconds
+  double bytes_sent(Phase p) const { return bytes_sent_s[static_cast<int>(p)]; }
+  double bytes_recvd(Phase p) const {
+    return bytes_recvd_s[static_cast<int>(p)];
+  }
+  double total_bytes_sent() const {
+    double s = 0;
+    for (double b : bytes_sent_s) s += b;
+    return s;
+  }
 };
 
 /// Mutable per-rank context; owned by Cluster, one per rank thread.
@@ -94,8 +105,9 @@ struct RankCtx {
   Phase cur_phase = Phase::kMisc;
   RankStats stats;
   const Machine* machine = nullptr;
-  bool trace_enabled = false;
-  std::vector<TraceEvent> trace;
+  bool trace_enabled = false;   ///< TraceConfig::enabled for this run
+  bool trace_markers = false;   ///< TraceConfig::markers && enabled
+  std::vector<TraceRecord> trace;
   double slowdown = 1.0;  ///< fault-injected straggler factor (>= 1)
   i64 comm_ops = 0;       ///< communication ops issued (fault-kill counter)
 
@@ -113,13 +125,14 @@ struct RankCtx {
   std::uint64_t checked_gen = 0;
   bool finished = false;  ///< rank thread has returned
 
-  void record(Phase p, double t0, double t1) {
-    if (trace_enabled && t1 > t0) trace.push_back(TraceEvent{p, t0, t1});
-  }
+  // Tracing never enters here: clock arithmetic is identical with tracing
+  // on or off (call sites emit their own TraceRecords when enabled).
   void charge(double seconds) {
-    record(cur_phase, clock, clock + seconds);
     clock += seconds;
     stats.phase_s[static_cast<int>(cur_phase)] += seconds;
+  }
+  void add_record(const TraceRecord& r) {
+    if (trace_enabled) trace.push_back(r);
   }
   void track_alloc(i64 bytes) {
     stats.cur_bytes += bytes;
@@ -130,6 +143,23 @@ struct RankCtx {
 
 /// Context of the calling rank thread; null outside Cluster::run.
 RankCtx* current_ctx();
+
+/// Records a zero-duration trace marker on the calling rank's timeline at
+/// its current virtual time (plan build, engine cache event, redistribution
+/// pack/unpack, ...). `name` must be a static string. No-op outside a rank
+/// thread or when markers are not being recorded, so instrumented library
+/// code pays one branch when tracing is off.
+inline void trace_marker(const char* name, double bytes = 0) {
+  RankCtx* ctx = current_ctx();
+  if (!ctx || !ctx->trace_markers) return;
+  TraceRecord r;
+  r.kind = TraceKind::kMarker;
+  r.phase = ctx->cur_phase;
+  r.t0 = r.t1 = ctx->clock;
+  r.name = name;
+  r.bytes_out = bytes;
+  ctx->trace.push_back(r);
+}
 
 namespace detail {
 struct CommState;
@@ -180,8 +210,15 @@ class Cluster {
   /// summed flops, summed inter-node bytes (see RankStats::inter_bytes_s).
   RankStats aggregate_stats() const;
 
-  /// Enables per-rank timeline recording for subsequent run() calls.
-  void set_trace(bool enabled) { trace_enabled_ = enabled; }
+  /// Enables per-rank structured trace recording for subsequent run()
+  /// calls. Zero overhead when off: the cost/clock arithmetic is shared
+  /// with the untraced path, so vtimes and results are bit-identical.
+  void set_trace(bool enabled) { trace_cfg_.enabled = enabled; }
+  void set_trace(const TraceConfig& cfg) { trace_cfg_ = cfg; }
+  const TraceConfig& trace_config() const { return trace_cfg_; }
+
+  /// Trace records of one rank after a traced run(), in clock order.
+  const std::vector<TraceRecord>& trace(int rank) const;
 
   /// Debug-validation mode: every collective rendezvous cross-checks all
   /// members' arguments (op, sizes, root, dtype, counts vectors) and raises
@@ -210,9 +247,10 @@ class Cluster {
   }
 
   /// Writes the recorded timelines of the last run() in Chrome trace-event
-  /// JSON (open in chrome://tracing or https://ui.perfetto.dev): one track
-  /// per rank, one slice per phase interval, microsecond = simulated
-  /// microsecond. Requires set_trace(true) before run().
+  /// JSON (open in chrome://tracing or https://ui.perfetto.dev): one pid
+  /// per simulated node, one tid per rank, one slice per operation,
+  /// microsecond = simulated microsecond. Requires set_trace before run().
+  /// (Delegates to write_chrome_trace_file in trace.hpp.)
   void write_chrome_trace(const std::string& path) const;
 
  private:
@@ -252,7 +290,7 @@ class Cluster {
   std::condition_variable cv_;
   std::map<detail::ChannelKey, std::deque<detail::SendRec*>> channels_;
   std::uint64_t next_comm_id_ = 1;
-  bool trace_enabled_ = false;
+  TraceConfig trace_cfg_;
   bool validate_ = false;
   FaultPlan faults_;
   CollectiveConfig coll_config_;  ///< default for new communicators

@@ -159,6 +159,8 @@ CollCost coll_allgather_cost(const Machine& m, const GroupProfile& g,
                              const LinkParams& l, CollAlgo a, double bytes,
                              int p) {
   CollCost c;
+  c.algo = coll_algo_name(a);
+  c.bytes = bytes;
   if (p <= 1) return c;
   switch (a) {
     case CollAlgo::kPaperButterfly:
@@ -200,6 +202,8 @@ CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
                                   const LinkParams& l, CollAlgo a,
                                   double bytes, int p, bool custom_tree) {
   CollCost c;
+  c.algo = coll_algo_name(a);
+  c.bytes = bytes;
   if (p <= 1) return c;
   switch (a) {
     case CollAlgo::kPaperButterfly:
@@ -244,6 +248,8 @@ CollCost coll_bcast_cost(const Machine& m, const GroupProfile& g,
                          const LinkParams& l, CollAlgo a, double bytes,
                          int p) {
   CollCost c;
+  c.algo = coll_algo_name(a);
+  c.bytes = bytes;
   if (p <= 1) return c;
   switch (a) {
     case CollAlgo::kPaperButterfly:
@@ -279,6 +285,8 @@ CollCost coll_allreduce_cost(const Machine& m, const GroupProfile& g,
                              const LinkParams& l, CollAlgo a, double bytes,
                              int p) {
   CollCost c;
+  c.algo = coll_algo_name(a);
+  c.bytes = bytes;
   if (p <= 1) return c;
   switch (a) {
     case CollAlgo::kPaperButterfly:

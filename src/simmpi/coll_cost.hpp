@@ -140,6 +140,10 @@ struct CollectiveConfig {
 struct CollCost {
   double t = 0;
   double inter_bytes = 0;
+  /// Resolved schedule name (static string; null for ops without one, e.g.
+  /// barrier/alltoallv) and total message size n — carried into traces.
+  const char* algo = nullptr;
+  double bytes = 0;
 };
 
 /// The schedule actually used for a call: resolves kAuto by message size /

@@ -172,18 +172,32 @@ std::string validate_collective(const CommState& st, CommState::Op op) {
 /// check or perform failure is stored in st.coll_error — tagged with the
 /// generation so no cross-rendezvous read is possible — data movement is
 /// skipped, and every member raises the same Error.
+/// Logical payload bytes one member of a collective contributes / receives
+/// (its own block vs. everyone else's blocks — schedule-independent, unlike
+/// the bytes a particular algorithm moves). Accounted into RankStats per
+/// phase and carried into trace records.
+struct CollIo {
+  double out = 0;
+  double in = 0;
+};
+
 template <class Fill, class Perform, class Shard, class Finish>
-void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
-                    Perform&& perform, Shard&& shard, Finish&& finish) {
+void run_collective(CommState& st, int me, CommState::Op op, CollIo io,
+                    Fill&& fill, Perform&& perform, Shard&& shard,
+                    Finish&& finish) {
   RankCtx* ctx = current_ctx();
   CA_ASSERT(ctx != nullptr);
   const int p = static_cast<int>(st.members.size());
+  if (p <= 1) io = CollIo{};  // single-member groups move nothing
 
   bool was_last = false;
   bool movement_ok = false;
   bool sharded = true;
   double exit_time = 0;
   double inter_per_rank = 0;
+  CollCost coll_cost;
+  double coll_t0 = 0;
+  int crit_world = -1;
   std::string err;
   {
     std::unique_lock<std::mutex> lk(st.mu());
@@ -208,7 +222,14 @@ void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
     if (st.arrived == p) {
       was_last = true;
       double t0 = 0;
-      for (const auto& s : st.slots) t0 = std::max(t0, s.t_entry);
+      int crit = 0;  // last arriver by virtual time; ties -> lowest index
+      for (int j = 0; j < p; ++j) {
+        const double te = st.slots[static_cast<size_t>(j)].t_entry;
+        if (te > t0) {
+          t0 = te;
+          crit = j;
+        }
+      }
       CollCost cost;
       std::string e;
       if (st.validation()) e = validate_collective(st, op);
@@ -223,6 +244,9 @@ void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
       st.coll_error_gen = gen;
       st.exit_time = t0 + cost.t;
       st.coll_inter = cost.inter_bytes / p;
+      st.coll_cost = cost;
+      st.coll_t0 = t0;
+      st.coll_crit_world = st.members[static_cast<size_t>(crit)];
       st.dm_ok = e.empty();
       st.dm_sharded = st.cfg.data_movement ==
                       CollectiveConfig::DataMovement::kSharded;
@@ -249,6 +273,9 @@ void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
     sharded = st.dm_sharded;
     exit_time = st.exit_time;
     inter_per_rank = st.coll_inter;
+    coll_cost = st.coll_cost;
+    coll_t0 = st.coll_t0;
+    crit_world = st.coll_crit_world;
     if (st.coll_error_gen == gen && !st.coll_error.empty())
       err = st.coll_error;
   }
@@ -279,9 +306,32 @@ void run_collective(CommState& st, int me, CommState::Op op, Fill&& fill,
   if (!err.empty()) throw Error(err);
   const double delta = exit_time - ctx->clock;
   CA_ASSERT(delta >= -1e-12);
-  ctx->last_op_cost = std::max(0.0, delta);
-  ctx->charge(std::max(0.0, delta));
-  ctx->stats.inter_bytes_s[static_cast<int>(ctx->cur_phase)] += inter_per_rank;
+  const double adv = std::max(0.0, delta);
+  ctx->last_op_cost = adv;
+  if (ctx->trace_enabled) {
+    TraceRecord r;
+    r.kind = TraceKind::kCollective;
+    r.phase = ctx->cur_phase;
+    r.t0 = ctx->clock;
+    r.t1 = ctx->clock + adv;
+    r.name = coll_op_name(op);
+    r.algo = coll_cost.algo;
+    r.bytes_out = io.out;
+    r.bytes_in = io.in;
+    r.inter_bytes = inter_per_rank;
+    r.comm_id = st.id;
+    r.comm_size = p;
+    if (crit_world != ctx->world_rank) {
+      r.dep_rank = crit_world;
+      r.t_dep = coll_t0;
+    }
+    ctx->trace.push_back(r);
+  }
+  ctx->charge(adv);
+  const int ph = static_cast<int>(ctx->cur_phase);
+  ctx->stats.inter_bytes_s[ph] += inter_per_rank;
+  ctx->stats.bytes_sent_s[ph] += io.out;
+  ctx->stats.bytes_recvd_s[ph] += io.in;
 }
 
 struct NoFinish {
@@ -344,12 +394,29 @@ void Comm::set_phase(Phase p) { current_ctx()->cur_phase = p; }
 
 Phase Comm::phase() const { return current_ctx()->cur_phase; }
 
+namespace {
+
+/// Trace one local-GEMM clock advance [t0, t0 + adv] on `ctx`.
+void trace_compute(RankCtx* ctx, double adv, double flops) {
+  if (!ctx->trace_enabled) return;
+  TraceRecord r;
+  r.kind = TraceKind::kCompute;
+  r.phase = Phase::kCompute;
+  r.t0 = ctx->clock;
+  r.t1 = ctx->clock + adv;
+  r.name = "gemm";
+  r.flops = flops;
+  ctx->trace.push_back(r);
+}
+
+}  // namespace
+
 void Comm::charge_compute(double flops, double bytes) {
   RankCtx* ctx = current_ctx();
   const double t = machine().gemm_time(flops, bytes) * ctx->slowdown;
   ctx->stats.flops += flops;
   ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
-  ctx->record(Phase::kCompute, ctx->clock, ctx->clock + t);
+  trace_compute(ctx, t, flops);
   ctx->clock += t;
 }
 
@@ -372,7 +439,7 @@ void Comm::charge_compute_overlap_budget(double flops, double bytes,
   // communication (dual-buffer overlap).
   ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
   const double adv = std::max(0.0, t - budget);
-  ctx->record(Phase::kCompute, ctx->clock, ctx->clock + adv);
+  trace_compute(ctx, adv, flops);
   ctx->clock += adv;
 }
 
@@ -390,7 +457,8 @@ CollectiveConfig Comm::collective_config() const {
 
 void Comm::barrier() {
   run_collective(
-      *state_, my_index_, CommState::Op::kBarrier, [](CommState::Slot&) {},
+      *state_, my_index_, CommState::Op::kBarrier, CollIo{},
+      [](CommState::Slot&) {},
       [](CommState& st) {
         CollCost c;
         c.t = st.link.alpha * log2d(static_cast<int>(st.members.size()));
@@ -404,8 +472,13 @@ void Comm::bcast_bytes(void* buf, i64 bytes, int root) {
              root, size());
   CA_REQUIRE(bytes >= 0, "bcast of negative size %lld",
              static_cast<long long>(bytes));
+  CollIo io;
+  if (my_index_ == root)
+    io.out = static_cast<double>(bytes);
+  else
+    io.in = static_cast<double>(bytes);
   run_collective(
-      *state_, my_index_, CommState::Op::kBcast,
+      *state_, my_index_, CommState::Op::kBcast, io,
       [&](CommState::Slot& s) {
         s.rbuf = buf;
         s.n0 = bytes;
@@ -443,6 +516,8 @@ void Comm::allgather_bytes(const void* sbuf, i64 bytes_each, void* rbuf) {
              static_cast<long long>(bytes_each));
   run_collective(
       *state_, my_index_, CommState::Op::kAllgather,
+      CollIo{static_cast<double>(bytes_each),
+             static_cast<double>(bytes_each) * (size() - 1)},
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
@@ -482,8 +557,12 @@ void Comm::allgatherv_bytes(const void* sbuf, i64 my_bytes, void* rbuf,
              "allgatherv: my_bytes=%lld but counts[%d]=%lld",
              static_cast<long long>(my_bytes), my_index_,
              static_cast<long long>(counts[static_cast<size_t>(my_index_)]));
+  CollIo io;
+  io.out = static_cast<double>(my_bytes);
+  for (i64 c : counts) io.in += static_cast<double>(c);
+  io.in -= static_cast<double>(my_bytes);
   run_collective(
-      *state_, my_index_, CommState::Op::kAllgatherv,
+      *state_, my_index_, CommState::Op::kAllgatherv, io,
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
@@ -524,8 +603,15 @@ void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
   CA_REQUIRE(static_cast<int>(counts.size()) == size(),
              "reduce_scatter counts vector has %d entries, comm has %d ranks",
              static_cast<int>(counts.size()), size());
+  CollIo io;
+  {
+    const double esize = static_cast<double>(dtype_size(dtype));
+    for (i64 c : counts) io.out += static_cast<double>(c) * esize;
+    io.in = static_cast<double>(counts[static_cast<size_t>(my_index_)]) * esize;
+    io.out -= io.in;  // own segment never leaves this rank
+  }
   run_collective(
-      *state_, my_index_, CommState::Op::kReduceScatter,
+      *state_, my_index_, CommState::Op::kReduceScatter, io,
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
@@ -570,8 +656,11 @@ void Comm::reduce_scatter_sum(const void* sbuf, void* rbuf,
 void Comm::allreduce_sum(const void* sbuf, void* rbuf, i64 count, Dtype dtype) {
   CA_REQUIRE(count >= 0, "allreduce of negative count %lld",
              static_cast<long long>(count));
+  const double ar_bytes =
+      static_cast<double>(count) * static_cast<double>(dtype_size(dtype));
   run_collective(
       *state_, my_index_, CommState::Op::kAllreduce,
+      CollIo{ar_bytes, ar_bytes},
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
@@ -633,8 +722,14 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
                  static_cast<int>(rcounts.size()) == p &&
                  static_cast<int>(rdispls.size()) == p,
              "alltoallv counts/displs vectors must have %d entries", p);
+  CollIo io;
+  for (int j = 0; j < p; ++j) {
+    if (j == my_index_) continue;  // self-copies are not network traffic
+    io.out += static_cast<double>(scounts[static_cast<size_t>(j)]);
+    io.in += static_cast<double>(rcounts[static_cast<size_t>(j)]);
+  }
   run_collective(
-      *state_, my_index_, CommState::Op::kAlltoallv,
+      *state_, my_index_, CommState::Op::kAlltoallv, io,
       [&](CommState::Slot& s) {
         s.sbuf = sbuf;
         s.rbuf = rbuf;
@@ -696,7 +791,7 @@ void Comm::alltoallv_bytes(const void* sbuf, const std::vector<i64>& scounts,
 Comm Comm::split(int color, int key) const {
   std::pair<std::shared_ptr<CommState>, int> result{nullptr, -1};
   run_collective(
-      *state_, my_index_, CommState::Op::kSplit,
+      *state_, my_index_, CommState::Op::kSplit, CollIo{},
       [&](CommState::Slot& s) {
         s.i0 = color;
         s.i1 = key;
@@ -772,7 +867,22 @@ void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
   const double t =
       t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
   ctx->last_op_cost = t;
+  if (ctx->trace_enabled) {
+    TraceRecord r;
+    r.kind = TraceKind::kP2pSend;
+    r.phase = ctx->cur_phase;
+    r.t0 = entry;
+    r.t1 = entry + t;
+    r.name = "send";
+    r.bytes_out = static_cast<double>(bytes);
+    r.peer = dst_w;
+    r.tag = tag;
+    r.comm_id = state_->id;
+    ctx->trace.push_back(r);
+  }
   ctx->charge(t);
+  ctx->stats.bytes_sent_s[static_cast<int>(ctx->cur_phase)] +=
+      static_cast<double>(bytes);
 }
 
 void Comm::recv_bytes(void* buf, i64 bytes, int src, int tag) {
@@ -790,6 +900,7 @@ void Comm::recv_impl(void* buf, i64 bytes, int src, int tag) {
   const double entry = ctx->clock;
   const ChannelKey key{state_->id, world_rank_of(src), world_rank(), tag};
   double exit = 0;
+  double sender_entry = 0;
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
     SendRec* rec = nullptr;
@@ -822,17 +933,38 @@ void Comm::recv_impl(void* buf, i64 bytes, int src, int tag) {
     const double t =
         t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
     exit = std::max(entry, rec->t_entry) + t;
+    sender_entry = rec->t_entry;
     if (rec->eager) {
       delete rec;
     } else {
       rec->t_exit = exit;
+      rec->t_consumer_entry = entry;
       rec->consumed = true;
       cl->progress_gen_++;
       cl->cv_.notify_all();
     }
   }
   ctx->last_op_cost = exit - entry;
+  if (ctx->trace_enabled) {
+    TraceRecord r;
+    r.kind = TraceKind::kP2pRecv;
+    r.phase = ctx->cur_phase;
+    r.t0 = entry;
+    r.t1 = exit;
+    r.name = "recv";
+    r.bytes_in = static_cast<double>(bytes);
+    r.peer = key.src;
+    r.tag = tag;
+    r.comm_id = state_->id;
+    if (sender_entry > entry) {  // the sender's arrival bounded this recv
+      r.dep_rank = key.src;
+      r.t_dep = sender_entry;
+    }
+    ctx->trace.push_back(r);
+  }
   ctx->charge(exit - ctx->clock);
+  ctx->stats.bytes_recvd_s[static_cast<int>(ctx->cur_phase)] +=
+      static_cast<double>(bytes);
 }
 
 void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
@@ -879,7 +1011,28 @@ void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
     }
     throw;
   }
-  if (rec.t_exit > ctx->clock) ctx->charge(rec.t_exit - ctx->clock);
+  if (rec.t_exit > ctx->clock) {
+    if (ctx->trace_enabled) {
+      // The recv half is already on the timeline; this extra interval is
+      // the wait for the peer to consume our (zero-copy) send.
+      TraceRecord r;
+      r.kind = TraceKind::kP2pWait;
+      r.phase = ctx->cur_phase;
+      r.t0 = ctx->clock;
+      r.t1 = rec.t_exit;
+      r.name = "sendrecv-wait";
+      r.bytes_out = static_cast<double>(sbytes);
+      r.peer = world_rank_of(dst);
+      r.tag = tag;
+      r.comm_id = state_->id;
+      r.dep_rank = world_rank_of(dst);
+      r.t_dep = rec.t_consumer_entry;
+      ctx->trace.push_back(r);
+    }
+    ctx->charge(rec.t_exit - ctx->clock);
+  }
+  ctx->stats.bytes_sent_s[static_cast<int>(ctx->cur_phase)] +=
+      static_cast<double>(sbytes);
   ctx->last_op_cost = ctx->clock - entry;
 }
 

@@ -23,6 +23,10 @@ struct SendRec {
   double t_entry = 0;
   bool consumed = false;
   double t_exit = 0;
+  /// Receiver's entry clock, written (under the cluster lock) when the
+  /// record is consumed; lets a rendezvous sender trace which side bounded
+  /// its completion wait.
+  double t_consumer_entry = 0;
   std::unique_ptr<char[]> owned;  ///< non-null for eager sends
   bool eager = false;
 };
@@ -61,6 +65,15 @@ struct CommState {
   /// Per-member share of the completed collective's modeled inter-node
   /// bytes (aggregate / p), accounted into RankStats by every member.
   double coll_inter = 0;
+  /// Trace metadata of the completed rendezvous, written by the last
+  /// arriver under mu_ and snapshotted by every member before leaving:
+  /// the full modeled cost (schedule name, total bytes), the rendezvous
+  /// start (= the last arriver's entry clock), and the world rank whose
+  /// late arrival set that start time (the collective's critical-path
+  /// predecessor; ties resolve to the lowest member index).
+  CollCost coll_cost;
+  double coll_t0 = 0;
+  int coll_crit_world = -1;
   /// Non-empty when the in-flight rendezvous failed a consistency check (or
   /// its cost/validation step threw): every member throws this as a
   /// ca3dmm::Error, so collective argument errors are raised collectively.

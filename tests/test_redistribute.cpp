@@ -8,6 +8,7 @@
 #include "layout/redistribute.hpp"
 #include "linalg/matrix.hpp"
 #include "simmpi/cluster.hpp"
+#include "simmpi/coll_cost.hpp"
 
 namespace ca3dmm {
 namespace {
@@ -177,6 +178,69 @@ TEST(Redistribute, VolumeRowToCol) {
                                  BlockLayout::col_1d(4, 4, 2), false, 8);
   EXPECT_EQ(v.max_send_bytes, 32);
   EXPECT_EQ(v.max_recv_bytes, 32);
+}
+
+/// The executed redistribution must agree with its analytic prediction
+/// *exactly*: every rank's per-phase sent/received bytes equal the
+/// redistribution_volume per-rank vectors, and every rank's charged virtual
+/// time equals t_alltoallv_machine of the predicted worst off-self volume
+/// (all ranks enter the all-to-all at clock 0, so exit = entry + cost).
+void check_volume_prediction(const BlockLayout& src, const BlockLayout& dst,
+                             int P, bool transpose, const Machine& mach) {
+  const RedistVolume v =
+      redistribution_volume(src, dst, transpose, sizeof(double));
+  ASSERT_EQ(static_cast<int>(v.send_bytes.size()), P);
+  ASSERT_EQ(static_cast<int>(v.recv_bytes.size()), P);
+
+  Cluster cl(P, mach);
+  cl.run([&](Comm& c) {
+    std::vector<double> in, out(static_cast<size_t>(dst.local_size(c.rank())));
+    fill_local(src, c.rank(), 11, in);
+    redistribute<double>(c, src, in.data(), dst, out.data(), transpose);
+  });
+
+  std::vector<int> members(static_cast<size_t>(P));
+  for (int r = 0; r < P; ++r) members[static_cast<size_t>(r)] = r;
+  const simmpi::GroupProfile prof =
+      simmpi::GroupProfile::from_world_ranks(mach, members);
+  const double expect_t = simmpi::t_alltoallv_machine(
+      mach, simmpi::group_link(mach, prof),
+      static_cast<double>(std::max(v.max_send_bytes, v.max_recv_bytes)), P,
+      prof.single_node);
+
+  for (int r = 0; r < P; ++r) {
+    const simmpi::RankStats& s = cl.stats(r);
+    EXPECT_EQ(s.bytes_sent(simmpi::Phase::kMisc),
+              static_cast<double>(v.send_bytes[static_cast<size_t>(r)]))
+        << "rank " << r;
+    EXPECT_EQ(s.bytes_recvd(simmpi::Phase::kMisc),
+              static_cast<double>(v.recv_bytes[static_cast<size_t>(r)]))
+        << "rank " << r;
+    EXPECT_EQ(s.vtime, expect_t) << "rank " << r;
+  }
+}
+
+TEST(Redistribute, ExecutedMatchesVolumePredictionExactly) {
+  check_volume_prediction(BlockLayout::grid_2d(13, 9, 3, 2),
+                          BlockLayout::col_1d(13, 9, 6), 6, false,
+                          Machine::unit_test());
+}
+
+TEST(Redistribute, ExecutedMatchesVolumePredictionMultiNode) {
+  // Phoenix-like parameters with 4 ranks per node: P=8 spans two nodes, so
+  // the all-to-all pays the congestion-adjusted multi-node rate and the
+  // comparison pins that path too.
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 4;
+  mach.cores_per_node = 4;
+  check_volume_prediction(BlockLayout::grid_2d(16, 16, 4, 2),
+                          BlockLayout::grid_2d(16, 16, 2, 4), 8, false, mach);
+}
+
+TEST(Redistribute, ExecutedMatchesVolumePredictionTranspose) {
+  check_volume_prediction(BlockLayout::grid_2d(6, 10, 2, 2),
+                          BlockLayout::grid_2d(10, 6, 2, 2), 4, true,
+                          Machine::unit_test());
 }
 
 }  // namespace
