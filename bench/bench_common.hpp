@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "costmodel/model.hpp"
 #include "layout/block_layout.hpp"
 #include "linalg/matrix.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
 
 namespace ca3dmm::bench {
@@ -81,9 +84,79 @@ inline void register_sim_time(const std::string& name, double seconds) {
       ->Unit(benchmark::kMillisecond);
 }
 
+/// Fault plan assembled from --fault command-line flags. Empty unless the
+/// user passed --fault specs; benches that execute on a threaded Cluster
+/// attach it via cluster.set_fault_plan(bench_fault_plan()) so any bench run
+/// can be replayed under a deterministic fault scenario.
+inline simmpi::FaultPlan& bench_fault_plan() {
+  static simmpi::FaultPlan plan;
+  return plan;
+}
+
+/// Parses and strips repeated `--fault <spec>` (or `--fault=<spec>`)
+/// arguments before google-benchmark sees argv. Specs:
+///
+///   rank_kill=R@OP       kill world rank R at its OP-th communication op
+///   straggle=NODE@F      scale all local time on node NODE by factor F
+///   flip=SRC,DST,TAG[,NTH[,OFF[,MASK]]]
+///                        XOR MASK (default 0x01) into byte OFF (default 0)
+///                        of the NTH (default 1st) message received on the
+///                        p2p channel SRC -> DST with tag TAG
+///
+/// Unknown specs abort with a usage message — a silently ignored fault flag
+/// would make a "survived faults" bench result meaningless.
+inline void parse_fault_flags(int* argc, char** argv) {
+  simmpi::FaultPlan& plan = bench_fault_plan();
+  const auto parse_spec = [&plan](const char* spec) {
+    int a = 0, b = 0, c = 0, nth = 1;
+    long long op = 0, off = 0;
+    unsigned mask = 0x01;
+    double factor = 0;
+    if (std::sscanf(spec, "rank_kill=%d@%lld", &a, &op) == 2) {
+      plan.kills.push_back({.rank = a, .at_op = op});
+      return;
+    }
+    if (std::sscanf(spec, "straggle=%d@%lf", &a, &factor) == 2) {
+      plan.stragglers.push_back({.node = a, .factor = factor});
+      return;
+    }
+    const int n =
+        std::sscanf(spec, "flip=%d,%d,%d,%d,%lld,%x", &a, &b, &c, &nth, &off,
+                    &mask);
+    if (n >= 3) {
+      plan.flips.push_back({.src = a,
+                            .dst = b,
+                            .tag = c,
+                            .nth_match = nth,
+                            .offset = off,
+                            .mask = static_cast<unsigned char>(mask)});
+      return;
+    }
+    std::fprintf(stderr,
+                 "unrecognized --fault spec '%s'\n"
+                 "expected rank_kill=R@OP | straggle=NODE@FACTOR | "
+                 "flip=SRC,DST,TAG[,NTH[,OFF[,MASK]]]\n",
+                 spec);
+    std::exit(2);
+  };
+
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < *argc) {
+      parse_spec(argv[++i]);
+    } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      parse_spec(argv[i] + 8);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 /// Standard main body: run the registered benchmarks, then the paper table.
 inline int run_bench_main(int argc, char** argv,
                           const std::function<void()>& print_tables) {
+  parse_fault_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,0 +1,267 @@
+// Resilience benchmark: prices what surviving faults costs.
+//
+// Three parts, all deterministic virtual time:
+//
+//   1. Shrink-and-replan recovery latency — a threaded run with an injected
+//      rank kill, recovered by ResilientRunner. Reports the failed attempt,
+//      the replanned survivor run, and the end-to-end recovery latency
+//      against a clean run of the same workload.
+//   2. ABFT checksum overhead — modeled at the paper's Fig. 3 scale for
+//      every §IV-A problem class (gate: < 10% of the unprotected time) plus
+//      an executed small-scale run with an injected payload flip, corrected
+//      in flight.
+//   3. Drift gate on recovered runs — after shrinking, prediction at the
+//      survivor count (with ABFT priced in) must still match the engine
+//      exactly; a cost model that loses the engine after recovery exits
+//      nonzero so CI rejects it.
+//
+// Emits BENCH_resilience.json. Extra faults can be layered onto part 1 with
+// --fault flags (see bench_common.hpp).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ca3dmm.hpp"
+#include "costmodel/drift.hpp"
+#include "resilience/recovery.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Workload;
+using resilience::RecoveryReport;
+using resilience::ResilientRunner;
+using resilience::RetryPolicy;
+using simmpi::Cluster;
+using simmpi::Comm;
+using simmpi::Machine;
+
+bool g_gate_failed = false;
+
+/// rank_main that replans C = A·B from world.size() — the shrinkable form.
+std::function<void(Comm&)> pgemm_main(i64 m, i64 n, i64 k, bool abft) {
+  return [=](Comm& world) {
+    const int P = world.size();
+    const int me = world.rank();
+    Ca3dmmOptions opt;
+    opt.abft = abft;
+    const Ca3dmmPlan plan = Ca3dmmPlan::make(m, n, k, P, opt);
+    const BlockLayout a_nat = plan.a_native();
+    const BlockLayout b_nat = plan.b_native();
+    const BlockLayout c_nat = plan.c_native();
+    std::vector<double> a, b;
+    fill_local(a_nat, me, 1, a);
+    fill_local(b_nat, me, 2, b);
+    std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
+    ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
+                            b.data(), c_nat, c.data());
+  };
+}
+
+struct RecoveryResult {
+  int P = 0;
+  i64 m = 0, n = 0, k = 0;
+  double clean_vtime_s = 0;      ///< fault-free run at the full P
+  double survivor_vtime_s = 0;   ///< fault-free run at the survivor count
+  RecoveryReport report;
+};
+
+RecoveryResult run_recovery_scenario() {
+  RecoveryResult r;
+  r.P = 9;
+  r.m = r.n = r.k = 96;
+  const Machine mach = Machine::unit_test();
+
+  {
+    Cluster cl(r.P, mach);
+    cl.run(pgemm_main(r.m, r.n, r.k, false));
+    r.clean_vtime_s = cl.aggregate_stats().vtime;
+  }
+  {
+    Cluster cl(r.P - 1, mach);
+    cl.run(pgemm_main(r.m, r.n, r.k, false));
+    r.survivor_vtime_s = cl.aggregate_stats().vtime;
+  }
+
+  ResilientRunner runner(r.P, mach, RetryPolicy{.max_attempts = 3});
+  simmpi::FaultPlan fp = bench_fault_plan();  // user-specified extras
+  fp.kills.push_back({.rank = 4, .at_op = 4});
+  runner.set_fault_plan(fp);
+  r.report = runner.run(pgemm_main(r.m, r.n, r.k, false));
+  return r;
+}
+
+struct OverheadRow {
+  const char* cls;
+  int P;
+  double t_off_s, t_on_s;
+  double overhead() const { return t_on_s / t_off_s - 1.0; }
+};
+
+std::vector<OverheadRow> modeled_abft_overhead() {
+  const Machine mach = Machine::phoenix_mpi();
+  std::vector<OverheadRow> rows;
+  for (const ProblemClass& pc : paper_classes()) {
+    OverheadRow row;
+    row.cls = pc.name;
+    row.P = 1536;
+    Workload w;
+    w.m = pc.m;
+    w.n = pc.n;
+    w.k = pc.k;
+    row.t_off_s = costmodel::predict(Algo::kCa3dmm, w, row.P, mach).t_total;
+    w.abft = true;
+    row.t_on_s = costmodel::predict(Algo::kCa3dmm, w, row.P, mach).t_total;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct ExecutedAbft {
+  double vtime_off_s = 0;
+  double vtime_on_s = 0;
+  i64 corrected = 0;  ///< corruptions neutralized in the flip run
+};
+
+/// Executes the small protected multiply with a payload flip injected into
+/// a Cannon shift message: completes (instead of aborting) with the
+/// corruption corrected in flight.
+ExecutedAbft run_executed_abft() {
+  ExecutedAbft e;
+  const Machine mach = Machine::unit_test();
+  const auto run = [&](bool abft, bool flip) {
+    Cluster cl(4, mach);
+    if (flip) {
+      simmpi::FaultPlan fp;
+      for (int src = 0; src < 4; ++src)
+        for (int dst = 0; dst < 4; ++dst)
+          fp.flips.push_back({.src = src,
+                              .dst = dst,
+                              .tag = 101,
+                              .nth_match = 1,
+                              .offset = 0,
+                              .mask = 0x40});
+      cl.set_fault_plan(fp);
+    }
+    cl.run(pgemm_main(96, 96, 96, abft));
+    if (flip) e.corrected = cl.aggregate_stats().abft_corrected;
+    return cl.aggregate_stats().vtime;
+  };
+  e.vtime_off_s = run(false, false);
+  e.vtime_on_s = run(true, false);
+  run(true, true);  // corrected count from the flip run
+  return e;
+}
+
+void write_json(const RecoveryResult& rec, const std::vector<OverheadRow>& ov,
+                const ExecutedAbft& ex, bool drift_ok) {
+  const char* path = "BENCH_resilience.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"resilience\",\n");
+  std::fprintf(
+      f,
+      "  \"recovery\": {\"P\": %d, \"m\": %lld, \"n\": %lld, \"k\": %lld,\n"
+      "    \"attempts\": %d, \"final_nranks\": %d,\n"
+      "    \"clean_vtime_s\": %.9f, \"survivor_vtime_s\": %.9f,\n"
+      "    \"recovered_total_vtime_s\": %.9f,\n"
+      "    \"recovery_latency_s\": %.9f},\n",
+      rec.P, (long long)rec.m, (long long)rec.n, (long long)rec.k,
+      rec.report.attempts_used(), rec.report.final_nranks, rec.clean_vtime_s,
+      rec.survivor_vtime_s, rec.report.total_vtime(),
+      rec.report.total_vtime() - rec.survivor_vtime_s);
+  std::fprintf(f, "  \"abft_modeled_fig3\": [\n");
+  for (size_t i = 0; i < ov.size(); ++i)
+    std::fprintf(f,
+                 "    {\"class\": \"%s\", \"P\": %d, \"t_off_s\": %.6f, "
+                 "\"t_on_s\": %.6f, \"overhead\": %.6f}%s\n",
+                 ov[i].cls, ov[i].P, ov[i].t_off_s, ov[i].t_on_s,
+                 ov[i].overhead(), i + 1 < ov.size() ? "," : "");
+  std::fprintf(f,
+               "  ],\n  \"abft_executed\": {\"vtime_off_s\": %.9f, "
+               "\"vtime_on_s\": %.9f,\n    \"overhead\": %.6f, "
+               "\"corrected_under_flip\": %lld},\n",
+               ex.vtime_off_s, ex.vtime_on_s,
+               ex.vtime_on_s / ex.vtime_off_s - 1.0, (long long)ex.corrected);
+  std::fprintf(f, "  \"drift_gate_recovered_ok\": %s\n}\n",
+               drift_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+void print_tables() {
+  // ---- part 1: recovery latency ----
+  const RecoveryResult rec = run_recovery_scenario();
+  std::printf("\n=== Shrink-and-replan recovery (kill rank 4, %lld^3, P=%d) "
+              "===\n",
+              (long long)rec.m, rec.P);
+  TextTable rt({"attempt", "ranks", "outcome", "vtime ms"});
+  for (const auto& a : rec.report.attempts)
+    rt.add_row({strprintf("%d", a.attempt), strprintf("%d", a.nranks),
+                a.ok ? "ok" : "failed", strprintf("%.3f", a.vtime * 1e3)});
+  rt.print();
+  std::printf("clean vtime at P=%d:        %.3f ms\n", rec.P,
+              rec.clean_vtime_s * 1e3);
+  std::printf("clean vtime at survivors:  %.3f ms\n",
+              rec.survivor_vtime_s * 1e3);
+  std::printf("recovered total vtime:     %.3f ms  (latency over survivor "
+              "run: %.3f ms)\n",
+              rec.report.total_vtime() * 1e3,
+              (rec.report.total_vtime() - rec.survivor_vtime_s) * 1e3);
+  if (!rec.report.ok || rec.report.final_nranks != rec.P - 1) {
+    std::printf("RECOVERY GATE FAILED\n");
+    g_gate_failed = true;
+  }
+
+  // ---- part 2: ABFT overhead ----
+  const std::vector<OverheadRow> ov = modeled_abft_overhead();
+  std::printf("\n=== ABFT checksum overhead, modeled at Fig. 3 scale "
+              "(P=1536) ===\n");
+  TextTable ot({"class", "t off (s)", "t on (s)", "overhead", "gate <10%"});
+  for (const OverheadRow& r : ov) {
+    const bool ok = r.overhead() < 0.10;
+    ot.add_row({r.cls, strprintf("%.4f", r.t_off_s),
+                strprintf("%.4f", r.t_on_s),
+                strprintf("%.3f%%", r.overhead() * 100), ok ? "ok" : "FAIL"});
+    if (!ok) g_gate_failed = true;
+  }
+  ot.print();
+
+  const ExecutedAbft ex = run_executed_abft();
+  std::printf("executed 96^3 P=4: vtime off %.3f ms, on %.3f ms "
+              "(+%.3f%%); corruptions corrected under injected flips: %lld\n",
+              ex.vtime_off_s * 1e3, ex.vtime_on_s * 1e3,
+              (ex.vtime_on_s / ex.vtime_off_s - 1.0) * 100,
+              (long long)ex.corrected);
+  if (ex.corrected <= 0) {
+    std::printf("ABFT GATE FAILED: injected flips were not corrected\n");
+    g_gate_failed = true;
+  }
+
+  // ---- part 3: drift gate at the survivor count, protection on ----
+  Workload w;
+  w.m = w.n = w.k = rec.m;
+  w.abft = true;
+  Cluster cl(rec.report.final_nranks, Machine::unit_test());
+  const auto drift = costmodel::check_drift(Algo::kCa3dmm, w, cl);
+  std::printf("\n=== Drift gate at the survivor count (P=%d, abft on) ===\n%s",
+              rec.report.final_nranks, drift.table().c_str());
+  if (!drift.ok()) {
+    std::printf("DRIFT GATE FAILED\n");
+    g_gate_failed = true;
+  }
+
+  write_json(rec, ov, ex, drift.ok());
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  const int rc =
+      ca3dmm::bench::run_bench_main(argc, argv, ca3dmm::bench::print_tables);
+  return rc != 0 ? rc : (ca3dmm::bench::g_gate_failed ? 1 : 0);
+}

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "linalg/gemm.hpp"
+#include "resilience/abft.hpp"
 #include "simmpi/cluster.hpp"
 
 namespace ca3dmm {
@@ -24,6 +26,39 @@ constexpr int kTagSkewB = 401;
 
 inline int grid_rank(int s, int i, int j) { return j * s + i; }
 inline int wrap(int v, int s) { return ((v % s) + s) % s; }
+
+/// Elements on the wire for a tile of `payload` elements: the payload alone,
+/// or payload + ABFT checksum trailer when protection is on.
+template <typename T>
+i64 msg_elems(bool abft, i64 payload) {
+  return abft ? resilience::abft_msg_elems<T>(payload) : payload;
+}
+
+/// Writes the checksum trailer behind buf's payload and charges the encode
+/// scan (one linear pass over the payload; the staging memcpy of the skew is
+/// folded into the same scan). The cost model mirrors this charge.
+template <typename T>
+void abft_send_prep(Comm& grid, T* buf, i64 payload) {
+  resilience::abft_encode_msg<T>(buf, payload);
+  grid.charge_local_work(static_cast<double>(payload) * sizeof(T));
+}
+
+/// Charges the decode scan and verifies a received message, correcting a
+/// single corrupted payload byte in place. Multi-byte corruption raises —
+/// detection never silently degrades to a wrong C block.
+template <typename T>
+void abft_recv_check(Comm& grid, T* buf, i64 payload, const char* what) {
+  grid.charge_local_work(static_cast<double>(payload) * sizeof(T));
+  const resilience::AbftDecodeResult res =
+      resilience::abft_decode_msg<T>(buf, payload);
+  if (res.outcome == resilience::AbftOutcome::kUncorrectable)
+    throw Error(strprintf(
+        "abft: uncorrectable corruption in %s message on grid rank %d "
+        "(payload %lld elements)",
+        what, grid.rank(), static_cast<long long>(payload)));
+  if (res.outcome != resilience::AbftOutcome::kClean)
+    simmpi::current_ctx()->stats.abft_corrected++;
+}
 
 }  // namespace
 
@@ -50,29 +85,60 @@ void cannon_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
     return;
   }
 
+  const bool abft = sh.abft;
   const i64 kb_max = sh.kb_max();
-  TrackedBuffer<T> a_cur(sh.mb * kb_max);
-  TrackedBuffer<T> b_cur(kb_max * sh.nb);
+  TrackedBuffer<T> a_cur(msg_elems<T>(abft, sh.mb * kb_max));
+  TrackedBuffer<T> b_cur(msg_elems<T>(abft, kb_max * sh.nb));
 
   // ---- initial skew (paper §III-B): afterwards this process holds
   // A k-part (i + j) and B k-part (i + j). ----
   {
     PhaseScope ps(grid, Phase::kShift);
-    // A: row i shifts left by i; send to (i, j-i), receive from (i, j+i).
-    grid.sendrecv(a_block, sh.mb * kpart(j), grid_rank(s, i, wrap(j - i, s)),
-                  a_cur.data(), sh.mb * kpart(j + i),
-                  grid_rank(s, i, wrap(j + i, s)), kTagSkewA);
-    // B: column j shifts up by j; send to (i-j, j), receive from (i+j, j).
-    grid.sendrecv(b_block, kpart(i) * sh.nb, grid_rank(s, wrap(i - j, s), j),
-                  b_cur.data(), kpart(i + j) * sh.nb,
-                  grid_rank(s, wrap(i + j, s), j), kTagSkewB);
+    if (!abft) {
+      // A: row i shifts left by i; send to (i, j-i), receive from (i, j+i).
+      grid.sendrecv(a_block, sh.mb * kpart(j), grid_rank(s, i, wrap(j - i, s)),
+                    a_cur.data(), sh.mb * kpart(j + i),
+                    grid_rank(s, i, wrap(j + i, s)), kTagSkewA);
+      // B: column j shifts up by j; send to (i-j, j), receive from (i+j, j).
+      grid.sendrecv(b_block, kpart(i) * sh.nb, grid_rank(s, wrap(i - j, s), j),
+                    b_cur.data(), kpart(i + j) * sh.nb,
+                    grid_rank(s, wrap(i + j, s), j), kTagSkewB);
+    } else {
+      // The input blocks are const, so the outgoing skew message is staged
+      // to make room for its trailer; the staging buffer dies with the
+      // block, before the dual buffers are allocated.
+      {
+        const i64 pa_s = sh.mb * kpart(j), pa_r = sh.mb * kpart(j + i);
+        TrackedBuffer<T> stage(msg_elems<T>(true, pa_s));
+        std::memcpy(stage.data(), a_block,
+                    static_cast<size_t>(pa_s) * sizeof(T));
+        abft_send_prep(grid, stage.data(), pa_s);
+        grid.sendrecv(stage.data(), msg_elems<T>(true, pa_s),
+                      grid_rank(s, i, wrap(j - i, s)), a_cur.data(),
+                      msg_elems<T>(true, pa_r),
+                      grid_rank(s, i, wrap(j + i, s)), kTagSkewA);
+        abft_recv_check(grid, a_cur.data(), pa_r, "Cannon A-skew");
+      }
+      {
+        const i64 pb_s = kpart(i) * sh.nb, pb_r = kpart(i + j) * sh.nb;
+        TrackedBuffer<T> stage(msg_elems<T>(true, pb_s));
+        std::memcpy(stage.data(), b_block,
+                    static_cast<size_t>(pb_s) * sizeof(T));
+        abft_send_prep(grid, stage.data(), pb_s);
+        grid.sendrecv(stage.data(), msg_elems<T>(true, pb_s),
+                      grid_rank(s, wrap(i - j, s), j), b_cur.data(),
+                      msg_elems<T>(true, pb_r),
+                      grid_rank(s, wrap(i + j, s), j), kTagSkewB);
+        abft_recv_check(grid, b_cur.data(), pb_r, "Cannon B-skew");
+      }
+    }
   }
   // The skew moved the inputs into the shift buffers; the source blocks are
   // dead from here on. The second (dual) buffer pair is only allocated now,
   // so the peak stays at eq. (11)'s two-buffer footprint.
   if (release_inputs) release_inputs();
-  TrackedBuffer<T> a_nxt(sh.mb * kb_max);
-  TrackedBuffer<T> b_nxt(kb_max * sh.nb);
+  TrackedBuffer<T> a_nxt(msg_elems<T>(abft, sh.mb * kb_max));
+  TrackedBuffer<T> b_nxt(msg_elems<T>(abft, kb_max * sh.nb));
 
   // ---- aggregation buffers (multi-shift optimization, paper §III-F) ----
   const i64 kb_total = sh.kb_total();
@@ -105,12 +171,20 @@ void cannon_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
     const i64 kb_next = kpart(i + j + t + 1);
     if (t < s - 1) {
       PhaseScope ps(grid, Phase::kShift);
-      grid.sendrecv(a_cur.data(), sh.mb * kb, left, a_nxt.data(),
-                    sh.mb * kb_next, right, kTagShiftA);
+      if (abft) abft_send_prep(grid, a_cur.data(), sh.mb * kb);
+      grid.sendrecv(a_cur.data(), msg_elems<T>(abft, sh.mb * kb), left,
+                    a_nxt.data(), msg_elems<T>(abft, sh.mb * kb_next), right,
+                    kTagShiftA);
       overlap_budget += grid.last_op_cost();
-      grid.sendrecv(b_cur.data(), kb * sh.nb, up, b_nxt.data(),
-                    kb_next * sh.nb, down, kTagShiftB);
+      if (abft)
+        abft_recv_check(grid, a_nxt.data(), sh.mb * kb_next, "Cannon A-shift");
+      if (abft) abft_send_prep(grid, b_cur.data(), kb * sh.nb);
+      grid.sendrecv(b_cur.data(), msg_elems<T>(abft, kb * sh.nb), up,
+                    b_nxt.data(), msg_elems<T>(abft, kb_next * sh.nb), down,
+                    kTagShiftB);
       overlap_budget += grid.last_op_cost();
+      if (abft)
+        abft_recv_check(grid, b_nxt.data(), kb_next * sh.nb, "Cannon B-shift");
     }
     if (aggregate) {
       // Append the current panels; run one GEMM once enough k accumulated.

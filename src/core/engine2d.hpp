@@ -34,6 +34,10 @@ struct Engine2dShape {
   /// Sizes of the s k-parts of this k-task group's k range (canonical
   /// partition of |K_g| into s parts).
   std::vector<i64> kpart_sizes;
+  /// Append ABFT checksum trailers to every Cannon skew/shift message and
+  /// verify (correcting single-byte corruption) on receipt. Ignored by
+  /// SUMMA. See Ca3dmmOptions::abft.
+  bool abft = false;
 
   i64 kb_total() const {
     i64 t = 0;

@@ -55,6 +55,15 @@ struct Ca3dmmOptions {
   /// every call. The cost model honors Workload::coll at the same two
   /// spots, keeping prediction and execution consistent by construction.
   std::optional<simmpi::CollectiveConfig> coll{};
+  /// Protect the Cannon point-to-point traffic (skews and circular shifts)
+  /// with ABFT checksum trailers (resilience/abft.hpp): any single byte
+  /// corrupted in transit — what FaultPlan::FlipPayload injects — is
+  /// corrected in place, and multi-byte corruption raises an error instead
+  /// of silently producing a wrong C. Adds O(log payload) bytes per message
+  /// plus one encode/decode scan per side, priced by the cost model. No-op
+  /// for the SUMMA engine (collectives carry its panels, and the fault
+  /// injector only corrupts point-to-point messages).
+  bool abft = false;
 
   /// Member-wise equality: plans built from equal options on equal problem
   /// dimensions are interchangeable, which is what the engine's plan cache

@@ -96,6 +96,7 @@ RankStats run_workload(Algo algo, const Workload& w, Cluster& cl) {
   ca_opt.force_grid = w.force_grid;
   ca_opt.min_kblk = w.min_kblk;
   ca_opt.coll = w.coll;
+  ca_opt.abft = w.abft;
 
   switch (algo) {
     case Algo::kCa3dmm:

@@ -7,6 +7,7 @@
 #include "baselines/p25d.hpp"
 #include "layout/redistribute.hpp"
 #include "linalg/gemm.hpp"
+#include "resilience/abft.hpp"
 #include "simmpi/coll_cost.hpp"
 
 namespace ca3dmm::costmodel {
@@ -165,6 +166,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
   opt.force_grid = w.force_grid;
   opt.min_kblk = w.min_kblk;
   opt.use_summa = use_summa;
+  opt.abft = w.abft;
   const Ca3dmmPlan plan = Ca3dmmPlan::make(w.m, w.n, w.k, P, opt);
   const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
   const int active = plan.active();
@@ -306,21 +308,56 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
       } else if (!use_summa) {
         // Cannon: current buffers, skew, source release, dual buffers, then
         // s steps with aggregation (mirrors engine allocation order).
-        const i64 bufs = 2 * mb * kb_max * esize + 2 * kb_max * nb * esize;
+        // ABFT (when on) enlarges every message by its checksum trailer and
+        // adds one encode scan before each send plus one decode scan after
+        // each receive, at exactly the engine's program points.
+        auto tre = [&](i64 payload_elems) {
+          return w.abft
+                     ? resilience::abft_trailer_elems(payload_elems, esize)
+                     : static_cast<i64>(0);
+        };
+        auto scan_t = [&](i64 payload_elems) {
+          return static_cast<double>(payload_elems * esize) /
+                 mach.intra_rank_bandwidth();
+        };
+        const i64 bufs = 2 * (mb * kb_max + tre(mb * kb_max)) * esize +
+                         2 * (kb_max * nb + tre(kb_max * nb)) * esize;
         sim.alloc(bufs / 2);
         sim.cur = Phase::kShift;
         {
-          // Skew A: recv from (i, j+i); B: recv from (i+j, j).
+          // Skew A: recv from (i, j+i); B: recv from (i+j, j). With ABFT the
+          // outgoing message is staged (the input block is const), encoded,
+          // and decoded on arrival.
           const int srcA = plan.rank_of(co.gk, co.gc, co.i, wrap(co.j + co.i, s));
           const int dstA = plan.rank_of(co.gk, co.gc, co.i, wrap(co.j - co.i, s));
-          const i64 bA = std::max(kpart_of(co.j), kpart_of(co.j + co.i)) * mb;
-          sim.charge(t_p2p(mach, static_cast<double>(bA * esize),
+          const i64 paS = kpart_of(co.j) * mb;
+          const i64 paR = kpart_of(co.j + co.i) * mb;
+          const i64 bA = std::max(paS, paR);
+          if (w.abft) {
+            sim.alloc((paS + tre(paS)) * esize);  // staging
+            sim.charge(scan_t(paS));              // encode
+          }
+          sim.charge(t_p2p(mach, static_cast<double>((bA + tre(bA)) * esize),
                            same_node(mach, r, srcA) && same_node(mach, r, dstA)));
+          if (w.abft) {
+            sim.charge(scan_t(paR));              // decode
+            sim.free((paS + tre(paS)) * esize);
+          }
           const int srcB = plan.rank_of(co.gk, co.gc, wrap(co.i + co.j, s), co.j);
           const int dstB = plan.rank_of(co.gk, co.gc, wrap(co.i - co.j, s), co.j);
-          const i64 bB = std::max(kpart_of(co.i), kpart_of(co.i + co.j)) * nb;
-          sim.charge(t_p2p(mach, static_cast<double>(bB * esize),
+          const i64 pbS = kpart_of(co.i) * nb;
+          const i64 pbR = kpart_of(co.i + co.j) * nb;
+          const i64 bB = std::max(pbS, pbR);
+          if (w.abft) {
+            sim.alloc((pbS + tre(pbS)) * esize);
+            sim.charge(scan_t(pbS));
+          }
+          sim.charge(t_p2p(mach, static_cast<double>((bB + tre(bB)) * esize),
                            same_node(mach, r, srcB) && same_node(mach, r, dstB)));
+          if (w.abft) {
+            sim.charge(scan_t(pbR));
+            sim.free((pbS + tre(pbS)) * esize);
+          }
         }
         // Engine releases the source blocks right after the skew, then
         // allocates the second buffer pair.
@@ -351,12 +388,17 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
           const i64 kb_next = kpart_of(co.i + co.j + t + 1);
           if (t < s - 1) {
             sim.cur = Phase::kShift;
+            const i64 mxA = std::max(kb, kb_next) * mb;
+            const i64 mxB = std::max(kb, kb_next) * nb;
             const double tA =
-                t_p2p(mach, static_cast<double>(std::max(kb, kb_next) * mb * esize),
+                t_p2p(mach, static_cast<double>((mxA + tre(mxA)) * esize),
                       same_node(mach, r, right) && same_node(mach, r, left));
             const double tB =
-                t_p2p(mach, static_cast<double>(std::max(kb, kb_next) * nb * esize),
+                t_p2p(mach, static_cast<double>((mxB + tre(mxB)) * esize),
                       same_node(mach, r, down) && same_node(mach, r, up));
+            if (w.abft)
+              sim.charge(scan_t(kb * mb) + scan_t(kb_next * mb) +
+                         scan_t(kb * nb) + scan_t(kb_next * nb));
             sim.charge(tA + tB);
             budget += tA + tB;
           }

@@ -49,6 +49,11 @@ struct Workload {
   /// execution select the same schedule for the same call). The default —
   /// paper butterfly — reproduces the seeded predictions exactly.
   simmpi::CollectiveConfig coll{};
+  /// Mirrors Ca3dmmOptions::abft: enlarges every Cannon skew/shift message
+  /// by its checksum trailer and charges the encode/decode scans at the same
+  /// program points as the engine, so predictions (and the drift gate) stay
+  /// exact for protected runs. Ignored by the other algorithms.
+  bool abft = false;
 };
 
 struct Prediction {

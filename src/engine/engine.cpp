@@ -24,6 +24,7 @@ size_t PgemmEngine::PlanKeyHash::operator()(const PlanKey& key) const {
   const Ca3dmmOptions& o = key.opt;
   h = mix(h, std::hash<bool>{}(o.use_summa));
   h = mix(h, std::hash<i64>{}(o.min_kblk));
+  h = mix(h, std::hash<bool>{}(o.abft));
   h = mix(h, std::hash<double>{}(o.grid.l));
   h = mix(h, std::hash<bool>{}(o.grid.cannon_compatible));
   h = mix(h, std::hash<i64>{}(o.grid.max_memory_elems));
@@ -116,10 +117,30 @@ void PgemmEngine::execute(Entry& entry, const Request<T>& req) {
              "engine request needs all three layouts set");
   // All work buffers of the whole call tree (driver, 2-D engine,
   // redistribution) draw from the engine's pool while this scope is active.
+  // PoolScope's destructor detaches the pool on any exit path, so an
+  // aborted multiply cannot leave later allocations drawing from it.
   PoolScope scope(&pool_);
-  ca3dmm_multiply<T>(world_, entry.plan, entry.comms, req.trans_a,
-                     req.trans_b, *req.a_layout, req.a, *req.b_layout, req.b,
-                     *req.c_layout, req.c);
+  try {
+    ca3dmm_multiply<T>(world_, entry.plan, entry.comms, req.trans_a,
+                       req.trans_b, *req.a_layout, req.a, *req.b_layout,
+                       req.b, *req.c_layout, req.c);
+  } catch (const Error&) {
+    // The entry's communicators may have collectives half-rendezvoused on
+    // peers that died (or, for a validation error, an inconsistent request
+    // stream behind them): drop the plan so the next submission re-splits
+    // fresh communicators instead of reusing poisoned state. ClusterAborted
+    // unwinds (peer-failure case) are not caught here — those ranks are torn
+    // down by the cluster, never reused.
+    const PlanKey key = entry.key;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    ++stats_.plan_invalidations;
+    simmpi::trace_marker("engine:plan invalidate");
+    throw;
+  }
   ++stats_.requests;
 }
 

@@ -31,10 +31,18 @@
 // object; cache state evolves identically on all ranks because the request
 // stream does. Results are bit-identical to the one-shot path.
 //
-// Failure semantics are inherited from the cluster (PR 1): a rank killed
-// mid-batch triggers the cooperative abort, every peer unwinds, and
-// Cluster::run raises one aggregated ca3dmm::Error. The engine holds no
-// global state, so nothing is left half-updated outside the dead run.
+// Failure semantics: a rank killed mid-batch triggers the cluster's
+// cooperative abort, every peer unwinds, and Cluster::run raises one
+// aggregated ca3dmm::Error. An engine whose execute() sees a ca3dmm::Error
+// on its own rank invalidates the plan-cache entry in use (its split
+// communicators may be poisoned by the failure), detaches the buffer pool
+// via PoolScope unwinding (every TrackedBuffer returns its allocation on
+// the exception path), and rethrows — leaving the engine safely reusable
+// for the next submission. That reuse is exercised within a run for
+// collectively raised validation errors; after a real rank loss the whole
+// run is torn down and the shrink-and-replan layer (resilience/recovery.hpp)
+// re-executes rank_main — with fresh engines — on the survivors. See
+// docs/RESILIENCE.md.
 #pragma once
 
 #include <cstddef>
@@ -66,6 +74,11 @@ struct EngineStats {
   i64 plan_hits = 0;        ///< requests served by a cached plan
   i64 plan_misses = 0;      ///< requests that built a plan + comms
   i64 plan_evictions = 0;   ///< cache entries dropped (LRU)
+  /// Cache entries dropped because a multiply using them raised an error
+  /// (failed ranks may leave a cached communicator half-rendezvoused, so
+  /// the whole entry is poisoned; the next submission re-plans and
+  /// re-splits). Evolves identically on every surviving rank.
+  i64 plan_invalidations = 0;
   /// Communicator splits avoided versus the one-shot path (each cache hit
   /// skips the active/cannon/replication/reduction splits of its plan).
   i64 splits_saved = 0;

@@ -1,0 +1,90 @@
+#include "resilience/abft.hpp"
+
+namespace ca3dmm::resilience {
+
+namespace {
+
+inline int trailer_bits(i64 payload_bytes) {
+  int bits = 0;
+  while ((payload_bytes >> bits) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void abft_encode(const void* payload, i64 payload_bytes, void* trailer) {
+  if (payload_bytes <= 0) return;
+  const unsigned char* p = static_cast<const unsigned char*>(payload);
+  unsigned char* tr = static_cast<unsigned char*>(trailer);
+  const int bits = trailer_bits(payload_bytes);
+  unsigned char x_all = 0;
+  for (int b = 0; b <= bits; ++b) tr[b] = 0;
+  for (i64 i = 0; i < payload_bytes; ++i) {
+    const unsigned char v = p[i];
+    x_all ^= v;
+    // Position i participates in parity b iff bit b of (i + 1) is set.
+    i64 pos = i + 1;
+    for (int b = 0; pos != 0; ++b, pos >>= 1)
+      if (pos & 1) tr[1 + b] ^= v;
+  }
+  tr[0] = x_all;
+}
+
+AbftDecodeResult abft_decode(void* payload, i64 payload_bytes,
+                             const void* trailer) {
+  AbftDecodeResult res;
+  if (payload_bytes <= 0) return res;
+  unsigned char* p = static_cast<unsigned char*>(payload);
+  const unsigned char* tr = static_cast<const unsigned char*>(trailer);
+  const int bits = trailer_bits(payload_bytes);
+
+  unsigned char s_all = tr[0];
+  unsigned char s_pos[64] = {};
+  for (i64 i = 0; i < payload_bytes; ++i) {
+    const unsigned char v = p[i];
+    s_all ^= v;
+    i64 pos = i + 1;
+    for (int b = 0; pos != 0; ++b, pos >>= 1)
+      if (pos & 1) s_pos[b] ^= v;
+  }
+  i64 loc_mask = 0;     // bits b with nonzero syndrome
+  int nonzero_pos = 0;  // count of nonzero positional syndromes
+  bool uniform = true;  // every nonzero S_b equals S_all
+  for (int b = 0; b < bits; ++b) {
+    const unsigned char s = static_cast<unsigned char>(s_pos[b] ^ tr[1 + b]);
+    if (s != 0) {
+      ++nonzero_pos;
+      loc_mask |= static_cast<i64>(1) << b;
+      if (s != s_all) uniform = false;
+    }
+  }
+
+  if (s_all == 0 && nonzero_pos == 0) return res;  // clean
+
+  if (s_all != 0 && nonzero_pos > 0 && uniform) {
+    const i64 loc = loc_mask - 1;
+    if (loc >= payload_bytes) {
+      res.outcome = AbftOutcome::kUncorrectable;
+      return res;
+    }
+    p[loc] ^= s_all;
+    res.outcome = AbftOutcome::kCorrected;
+    res.offset = loc;
+    res.delta = s_all;
+    return res;
+  }
+  if (s_all != 0 && nonzero_pos == 0) {
+    // Only the X_all trailer byte itself differs: it took the error.
+    res.outcome = AbftOutcome::kTrailerHit;
+    return res;
+  }
+  if (s_all == 0 && nonzero_pos == 1) {
+    // Exactly one positional trailer byte took the error.
+    res.outcome = AbftOutcome::kTrailerHit;
+    return res;
+  }
+  res.outcome = AbftOutcome::kUncorrectable;
+  return res;
+}
+
+}  // namespace ca3dmm::resilience

@@ -64,6 +64,28 @@ void Cluster::maybe_flip_payload_locked(const detail::ChannelKey& key,
       static_cast<unsigned char*>(buf)[f.offset] ^= f.mask;
 }
 
+void Cluster::note_degraded_locked(int node) {
+  for (int n : degraded_nodes_)
+    if (n == node) return;
+  degraded_nodes_.insert(
+      std::upper_bound(degraded_nodes_.begin(), degraded_nodes_.end(), node),
+      node);
+}
+
+std::vector<int> Cluster::failed_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < nranks_; ++r)
+    if (rank_failed_[static_cast<size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+const std::string& Cluster::rank_error(int rank) const {
+  CA_ASSERT(rank >= 0 && rank < nranks_);
+  return rank_errors_[static_cast<size_t>(rank)];
+}
+
+std::vector<int> Cluster::degraded_nodes() const { return degraded_nodes_; }
+
 std::string Cluster::wait_for_table_locked() const {
   std::string out = "wait-for table (rank / state / comm / peer / tag / vtime):\n";
   for (int r = 0; r < nranks_; ++r) {
@@ -145,6 +167,7 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
   channels_.clear();
   rank_errors_.assign(static_cast<size_t>(nranks_), {});
   rank_failed_.assign(static_cast<size_t>(nranks_), 0);
+  degraded_nodes_.clear();
   watchdog_report_.clear();
   recv_match_count_.clear();
   abort_requested_ = false;
@@ -262,6 +285,7 @@ RankStats Cluster::aggregate_stats() const {
     agg.flops += s.flops;
     agg.peak_bytes = std::max(agg.peak_bytes, s.peak_bytes);
     agg.comm_splits += s.comm_splits;
+    agg.abft_corrected += s.abft_corrected;
   }
   return agg;
 }

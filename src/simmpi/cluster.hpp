@@ -76,6 +76,11 @@ struct RankStats {
   /// the engine's communicator cache amortizes, so the engine tests assert
   /// on this counter directly.
   i64 comm_splits = 0;
+  /// Corruptions neutralized by ABFT decode on this rank: payload bytes
+  /// corrected in place plus trailer hits absorbed. Fault-injection tests
+  /// assert on this to prove an injected flip actually fired and was caught
+  /// (a run that dodged the fault would pass the bit-identity check too).
+  i64 abft_corrected = 0;
 
   double phase(Phase p) const { return phase_s[static_cast<int>(p)]; }
   double inter_bytes(Phase p) const {
@@ -229,6 +234,28 @@ class Cluster {
   /// Attaches a deterministic fault-injection plan to subsequent run()
   /// calls; pass a default-constructed FaultPlan to clear.
   void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return faults_; }
+
+  /// Straggler reclassification policy for subsequent run() calls (see
+  /// StragglerPolicy). Disabled by default.
+  void set_straggler_policy(StragglerPolicy p) { straggler_policy_ = p; }
+  const StragglerPolicy& straggler_policy() const { return straggler_policy_; }
+
+  // ---- post-run failure attribution (read after run() threw) ----
+  /// Ranks recorded as failed by the last run(), ascending. A rank that
+  /// threw its own error is recorded; peers that merely unwound through the
+  /// cooperative abort are not — so kill-style faults attribute to exactly
+  /// the killed ranks. Collectively-raised errors (argument validation,
+  /// straggler reclassification) are thrown by every member and list them
+  /// all; consult degraded_nodes() first to tell the two apart.
+  std::vector<int> failed_ranks() const;
+  /// First recorded error of one rank ("" if it did not fail).
+  const std::string& rank_error(int rank) const;
+  /// Nodes reclassified as degraded by the straggler policy during the last
+  /// run(), ascending. Non-empty means the failure is node-level: shrink
+  /// recovery should drop every rank of these nodes rather than the (all-
+  /// member) failed_ranks() set.
+  std::vector<int> degraded_nodes() const;
 
   /// Default collective configuration for communicators created afterwards
   /// (the world comm of the next run(), and splits of comms that inherited
@@ -275,6 +302,8 @@ class Cluster {
   /// Applies any matching payload flip to a just-received message. mu_ held.
   void maybe_flip_payload_locked(const detail::ChannelKey& key, void* buf,
                                  i64 bytes);
+  /// Records a node the straggler policy reclassified as degraded. mu_ held.
+  void note_degraded_locked(int node);
 
   // --- deadlock watchdog ---
   void watchdog_main();
@@ -293,6 +322,7 @@ class Cluster {
   TraceConfig trace_cfg_;
   bool validate_ = false;
   FaultPlan faults_;
+  StragglerPolicy straggler_policy_;
   CollectiveConfig coll_config_;  ///< default for new communicators
 
   // --- run-scoped failure state (guarded by mu_) ---
@@ -306,6 +336,8 @@ class Cluster {
   int watchdog_interval_ms_ = 100;
   std::vector<std::string> rank_errors_;
   std::vector<std::uint8_t> rank_failed_;
+  /// Nodes the straggler policy reclassified as degraded (sorted, unique).
+  std::vector<int> degraded_nodes_;
   std::string watchdog_report_;
   /// Per-(src,dst,tag) received-message counter for payload flips.
   std::map<std::tuple<int, int, int>, int> recv_match_count_;

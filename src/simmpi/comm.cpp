@@ -232,7 +232,38 @@ void run_collective(CommState& st, int me, CommState::Op op, CollIo io,
       }
       CollCost cost;
       std::string e;
-      if (st.validation()) e = validate_collective(st, op);
+      // Straggler reclassification (see StragglerPolicy): compare the last
+      // arriver against the latest rank of any *other* node, so a whole
+      // slow node cannot mask itself behind a same-node peer. Runs before
+      // validation/perform so a degraded node aborts the rendezvous the
+      // same way a validation failure would — raised on every member.
+      const StragglerPolicy& sp = st.straggler_policy();
+      if (sp.enabled && p >= 2) {
+        const Machine& mach = st.machine();
+        const int crit_world = st.members[static_cast<size_t>(crit)];
+        const int crit_node = mach.node_of_rank(crit_world);
+        double t_other = -1.0;
+        for (int j = 0; j < p; ++j) {
+          if (mach.node_of_rank(st.members[static_cast<size_t>(j)]) ==
+              crit_node)
+            continue;
+          t_other =
+              std::max(t_other, st.slots[static_cast<size_t>(j)].t_entry);
+        }
+        if (t_other >= 0 && t0 - t_other >= sp.min_lag_s &&
+            t0 > sp.degrade_factor * t_other) {
+          st.note_degraded(crit_node);
+          e = strprintf(
+              "straggler policy: rank %d (node %d) reached the %s on comm "
+              "%llu at t=%.9g s while the latest rank of any other node "
+              "arrived at t=%.9g s (degrade factor %.3g, min lag %.3g s); "
+              "node %d reclassified as degraded",
+              crit_world, crit_node, coll_op_name(op),
+              static_cast<unsigned long long>(st.id), t0, t_other,
+              sp.degrade_factor, sp.min_lag_s, crit_node);
+        }
+      }
+      if (e.empty() && st.validation()) e = validate_collective(st, op);
       if (e.empty()) {
         try {
           cost = perform(st);
@@ -441,6 +472,23 @@ void Comm::charge_compute_overlap_budget(double flops, double bytes,
   const double adv = std::max(0.0, t - budget);
   trace_compute(ctx, adv, flops);
   ctx->clock += adv;
+}
+
+void Comm::charge_local_work(double bytes) {
+  if (bytes <= 0) return;
+  RankCtx* ctx = current_ctx();
+  const double t =
+      bytes / machine().intra_rank_bandwidth() * ctx->slowdown;
+  if (ctx->trace_enabled) {
+    TraceRecord r;
+    r.kind = TraceKind::kCompute;
+    r.phase = ctx->cur_phase;
+    r.t0 = ctx->clock;
+    r.t1 = ctx->clock + t;
+    r.name = "local-scan";
+    ctx->trace.push_back(r);
+  }
+  ctx->charge(t);
 }
 
 // ---------------- collectives ----------------

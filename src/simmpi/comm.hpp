@@ -148,6 +148,12 @@ class Comm {
   /// compute phase.
   void charge_compute_overlap_budget(double flops, double bytes,
                                      double budget);
+  /// Charges memory-bandwidth-bound local processing of `bytes` bytes (one
+  /// linear scan at the machine's per-rank intra-node bandwidth) to the
+  /// current phase. Used for work that is neither a GEMM nor communication
+  /// — e.g. ABFT checksum encode/decode scans. The cost model mirrors this
+  /// charge at the same program points.
+  void charge_local_work(double bytes);
   /// Virtual cost of this rank's most recent communication operation.
   double last_op_cost() const;
   /// Selects the phase subsequent charges accumulate to.

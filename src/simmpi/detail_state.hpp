@@ -123,6 +123,11 @@ struct CommState {
   int* blocked_counter() const { return &cluster->blocked_count_; }
   bool validation() const { return cluster->validate_; }
   void fault_point(RankCtx* ctx) const { cluster->fault_point(ctx); }
+  const StragglerPolicy& straggler_policy() const {
+    return cluster->straggler_policy_;
+  }
+  void note_degraded(int node) const { cluster->note_degraded_locked(node); }
+  const Machine& machine() const { return cluster->machine_; }
 
   static std::shared_ptr<CommState> create(Cluster* cl,
                                            std::vector<int> members);

@@ -51,4 +51,20 @@ struct FaultPlan {
   }
 };
 
+/// Straggler-mitigation policy, checked at every collective rendezvous on
+/// top of the PR 1 deadlock watchdog (which only catches total stalls, not
+/// slow nodes). When the last arriver's entry time exceeds
+/// `degrade_factor` times the latest entry time of any rank on a *different*
+/// node — comparing against other nodes, not other ranks, so a whole slow
+/// node cannot mask itself — and the absolute lag is at least `min_lag_s`
+/// of virtual time, the late rank's node is recorded as degraded
+/// (Cluster::degraded_nodes) and the collective raises a ca3dmm::Error on
+/// every member, triggering the same shrink path as a rank kill.
+/// All thresholds are virtual time, so detection is deterministic.
+struct StragglerPolicy {
+  bool enabled = false;
+  double degrade_factor = 3.0;  ///< last arrival vs other nodes' latest
+  double min_lag_s = 0.0;       ///< absolute virtual-time lag floor (s)
+};
+
 }  // namespace ca3dmm::simmpi

@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "core/ca3dmm.hpp"
+#include "engine/engine.hpp"
+#include "linalg/matrix.hpp"
+#include "resilience/recovery.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/fault.hpp"
@@ -299,6 +302,369 @@ TEST(CoreValidation, LayoutMismatchRaisesCollectivelyNotHang) {
   });
   EXPECT_NE(msg.find("4 ranks failed"), std::string::npos) << msg;
   EXPECT_NE(msg.find("C layout"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Shrink-and-replan recovery and ABFT correction (src/resilience).
+// ---------------------------------------------------------------------------
+
+using resilience::RecoveryReport;
+using resilience::ResilientRunner;
+using resilience::RetryPolicy;
+
+constexpr std::uint64_t kSeedA = 31, kSeedB = 32;
+
+void fill_local(const BlockLayout& layout, int rank, std::uint64_t seed,
+                std::vector<double>& buf) {
+  buf.assign(static_cast<size_t>(layout.local_size(rank)), 0.0);
+  i64 pos = 0;
+  for (const Rect& r : layout.rects_of(rank))
+    for (i64 i = r.r.lo; i < r.r.hi; ++i)
+      for (i64 j = r.c.lo; j < r.c.hi; ++j)
+        buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+}
+
+/// A rank_main computing C = A·B that derives the plan and every layout from
+/// world.size() — the contract that makes shrink-and-replan automatic: after
+/// the runner shrinks the world, the same body replans at the survivor
+/// count. Each rank's C block lands in (*out)[world rank].
+std::function<void(Comm&)> pgemm_main(i64 m, i64 n, i64 k,
+                                      std::vector<std::vector<double>>* out,
+                                      Ca3dmmOptions opt = {}) {
+  return [=](Comm& world) {
+    const int P = world.size();
+    const int me = world.rank();
+    const Ca3dmmPlan plan = Ca3dmmPlan::make(m, n, k, P, opt);
+    const BlockLayout a_nat = plan.a_native();
+    const BlockLayout b_nat = plan.b_native();
+    const BlockLayout c_nat = plan.c_native();
+    std::vector<double> a, b;
+    fill_local(a_nat, me, kSeedA, a);
+    fill_local(b_nat, me, kSeedB, b);
+    std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
+    ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
+                            b.data(), c_nat, c.data());
+    (*out)[static_cast<size_t>(me)] = std::move(c);
+  };
+}
+
+void expect_bitwise_equal(const std::vector<std::vector<double>>& got,
+                          const std::vector<std::vector<double>>& want,
+                          int nranks) {
+  for (int r = 0; r < nranks; ++r) {
+    const auto& g = got[static_cast<size_t>(r)];
+    const auto& w = want[static_cast<size_t>(r)];
+    ASSERT_EQ(g.size(), w.size()) << "rank " << r;
+    for (size_t i = 0; i < g.size(); ++i)
+      ASSERT_EQ(g[i], w[i]) << "rank " << r << " element " << i;
+  }
+}
+
+TEST(Recovery, RankKillShrinksAndReplansToBitIdenticalResult) {
+  const i64 m = 48, n = 48, k = 48;
+  const int P = 5;
+
+  // Reference: a clean run at the survivor count.
+  std::vector<std::vector<double>> clean(P - 1);
+  Cluster ref(P - 1, Machine::unit_test());
+  ref.run(pgemm_main(m, n, k, &clean));
+
+  ResilientRunner runner(P, Machine::unit_test(),
+                         RetryPolicy{.max_attempts = 3, .backoff_s = 0.5});
+  FaultPlan fp;
+  fp.kills.push_back({.rank = 2, .at_op = 4});
+  runner.set_fault_plan(fp);
+  std::vector<std::vector<double>> out(P);
+  const RecoveryReport rep = runner.run(pgemm_main(m, n, k, &out));
+
+  EXPECT_TRUE(rep.ok);
+  ASSERT_EQ(rep.attempts_used(), 2);
+  EXPECT_FALSE(rep.attempts[0].ok);
+  EXPECT_EQ(rep.attempts[0].nranks, P);
+  EXPECT_EQ(rep.attempts[0].failed_world_ranks, (std::vector<int>{2}));
+  EXPECT_NE(rep.attempts[0].error.find("fault injection"), std::string::npos)
+      << rep.attempts[0].error;
+  EXPECT_TRUE(rep.attempts[1].ok);
+  EXPECT_EQ(rep.final_nranks, P - 1);
+  EXPECT_EQ(rep.surviving_world_ranks, (std::vector<int>{0, 1, 3, 4}));
+
+  // The recovered multiply is bit-identical to a clean run at the survivor
+  // count: shrink-and-replan, not a degraded answer.
+  expect_bitwise_equal(out, clean, P - 1);
+
+  // Recovery latency accounting: both attempts plus the configured backoff,
+  // all in deterministic virtual time.
+  EXPECT_EQ(rep.backoff_s, 0.5);
+  EXPECT_GT(rep.attempts[0].vtime, 0.0);
+  EXPECT_GE(rep.total_vtime(),
+            rep.backoff_s + rep.attempts[1].vtime);
+}
+
+TEST(Recovery, RetryBudgetExhaustionSurfacesRankAttributedError) {
+  // Two staged kills: attempt 1 loses original rank 1 (the second kill
+  // never fires — its rank is still blocked at an earlier barrier), the
+  // shrunk attempt 2 loses original rank 2 via the remapped kill. With
+  // max_attempts = 2 the budget is now exhausted and the original
+  // rank-attributed error must surface.
+  ResilientRunner runner(5, Machine::unit_test(),
+                         RetryPolicy{.max_attempts = 2});
+  FaultPlan fp;
+  fp.kills.push_back({.rank = 1, .at_op = 2});
+  fp.kills.push_back({.rank = 2, .at_op = 5});
+  runner.set_fault_plan(fp);
+  try {
+    runner.run([](Comm& c) {
+      for (int i = 0; i < 10; ++i) c.barrier();
+    });
+    FAIL() << "retry budget should have been exhausted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("retry budget exhausted"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fault injection"), std::string::npos) << msg;
+  }
+  const RecoveryReport& rep = runner.report();
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(rep.attempts_used(), 2);
+  EXPECT_EQ(rep.attempts[0].nranks, 5);
+  EXPECT_EQ(rep.attempts[0].failed_world_ranks, (std::vector<int>{1}));
+  // The remapped kill fired on shrunk rank 1 — reported in ORIGINAL world
+  // numbering as rank 2.
+  EXPECT_EQ(rep.attempts[1].nranks, 4);
+  EXPECT_EQ(rep.attempts[1].failed_world_ranks, (std::vector<int>{2}));
+}
+
+TEST(Recovery, StragglerReclassificationExcludesWholeNode) {
+  // Node 1 runs 50x slow; the straggler policy reclassifies it as degraded
+  // at the first barrier, and the runner excludes the whole node — both its
+  // ranks — before the (clean) retry.
+  Machine mach = Machine::unit_test();
+  mach.ranks_per_node = 2;
+  ResilientRunner runner(4, mach);
+  FaultPlan fp;
+  fp.stragglers.push_back({.node = 1, .factor = 50.0});
+  runner.set_fault_plan(fp);
+  StragglerPolicy sp;
+  sp.enabled = true;
+  sp.degrade_factor = 5.0;
+  sp.min_lag_s = 1e-6;
+  runner.set_straggler_policy(sp);
+  const RecoveryReport rep = runner.run([](Comm& c) {
+    for (int i = 0; i < 3; ++i) {
+      c.charge_compute(1e6, 0);
+      c.barrier();
+    }
+  });
+  EXPECT_TRUE(rep.ok);
+  ASSERT_EQ(rep.attempts_used(), 2);
+  EXPECT_EQ(rep.attempts[0].degraded_nodes, (std::vector<int>{1}));
+  EXPECT_EQ(rep.attempts[0].failed_world_ranks, (std::vector<int>{2, 3}));
+  EXPECT_NE(rep.attempts[0].error.find("straggler policy"), std::string::npos)
+      << rep.attempts[0].error;
+  EXPECT_EQ(rep.final_nranks, 2);
+  EXPECT_EQ(rep.surviving_world_ranks, (std::vector<int>{0, 1}));
+}
+
+TEST(Recovery, UnshrinkableFailureIsNotRetried) {
+  // A deterministic input error raised collectively marks every rank failed
+  // with no degraded node: shrinking cannot fix it, so the runner must give
+  // up immediately instead of burning the retry budget.
+  ResilientRunner runner(4, Machine::unit_test(),
+                         RetryPolicy{.max_attempts = 5});
+  try {
+    runner.run([](Comm&) {
+      throw Error("deterministic input error on every rank");
+    });
+    FAIL() << "run() should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not shrinkable"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(runner.report().attempts_used(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ABFT: every single-byte corruption of Cannon skew/shift traffic must be
+// neutralized, with C bit-identical to an uncorrupted run.
+// ---------------------------------------------------------------------------
+
+/// One protected multiply at P = 4 on a forced 2x2x1 grid: every Cannon
+/// skew/shift tile is 24x24 doubles (4608 payload bytes + 16-byte checksum
+/// trailer on the wire). Returns the aggregate number of corruptions the
+/// decoders neutralized.
+i64 run_abft_multiply(const FaultPlan& fp, bool abft,
+                      std::vector<std::vector<double>>* out) {
+  const int P = 4;
+  Cluster cl(P, Machine::unit_test());
+  cl.set_fault_plan(fp);
+  out->assign(static_cast<size_t>(P), {});
+  Ca3dmmOptions opt;
+  opt.abft = abft;
+  opt.force_grid = ProcGrid{2, 2, 1};
+  cl.run(pgemm_main(48, 48, 48, out, opt));
+  return cl.aggregate_stats().abft_corrected;
+}
+
+TEST(Abft, ProtectionItselfDoesNotChangeResults) {
+  std::vector<std::vector<double>> plain, protected_c;
+  run_abft_multiply(FaultPlan{}, false, &plain);
+  const i64 corrected = run_abft_multiply(FaultPlan{}, true, &protected_c);
+  EXPECT_EQ(corrected, 0);
+  expect_bitwise_equal(protected_c, plain, 4);
+}
+
+TEST(Abft, EverySingleByteFlipIsNeutralized) {
+  // Enumerate every (src, dst) pair x every Cannon tag x offsets in the
+  // payload head, payload middle, and the checksum trailer itself. Channels
+  // that carry no traffic leave the run untouched; every channel that does
+  // must be corrected (or absorbed, for trailer hits) to a C bit-identical
+  // to the clean protected run.
+  std::vector<std::vector<double>> clean;
+  ASSERT_EQ(run_abft_multiply(FaultPlan{}, true, &clean), 0);
+
+  const int kTags[] = {101, 201, 301, 401};  // shift A/B, skew A/B
+  const i64 kOffsets[] = {0, 2047, 4615};    // head, middle, trailer byte
+  i64 total_corrected = 0;
+  int fired = 0;
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 0; dst < 4; ++dst)
+      for (int tag : kTags)
+        for (i64 off : kOffsets) {
+          SCOPED_TRACE("src=" + std::to_string(src) +
+                       " dst=" + std::to_string(dst) +
+                       " tag=" + std::to_string(tag) +
+                       " off=" + std::to_string(off));
+          FaultPlan fp;
+          fp.flips.push_back({.src = src,
+                              .dst = dst,
+                              .tag = tag,
+                              .nth_match = 1,
+                              .offset = off,
+                              .mask = 0x10});
+          std::vector<std::vector<double>> out;
+          const i64 corrected = run_abft_multiply(fp, true, &out);
+          total_corrected += corrected;
+          if (corrected > 0) ++fired;
+          expect_bitwise_equal(out, clean, 4);
+        }
+  // The 2x2 Cannon step has 8 shift channels and 4 cross-rank skew
+  // channels; each enumerated offset hits them all, so at least 36 of the
+  // injections genuinely corrupted a message in flight.
+  EXPECT_GE(fired, 36);
+  EXPECT_GE(total_corrected, fired);
+}
+
+TEST(Abft, UnprotectedFlipCorruptsTheResult) {
+  // Negative control: the same class of flip with protection off must
+  // corrupt C — proving the enumeration above exercises real faults, not
+  // channels that never exist. Flipping the top byte of the first double of
+  // every A-shift message (sign/exponent bits) guarantees a visible change.
+  std::vector<std::vector<double>> plain, corrupted;
+  run_abft_multiply(FaultPlan{}, false, &plain);
+  FaultPlan fp;
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 0; dst < 4; ++dst)
+      fp.flips.push_back({.src = src,
+                          .dst = dst,
+                          .tag = 101,
+                          .nth_match = 1,
+                          .offset = 7,
+                          .mask = 0x80});
+  const i64 corrected = run_abft_multiply(fp, false, &corrupted);
+  EXPECT_EQ(corrected, 0);  // no decoder ran
+  bool differs = false;
+  for (int r = 0; r < 4 && !differs; ++r)
+    differs = corrupted[static_cast<size_t>(r)] != plain[static_cast<size_t>(r)];
+  EXPECT_TRUE(differs);
+}
+
+TEST(Abft, MultiByteCorruptionRaisesInsteadOfSilentlyDegrading) {
+  // Two corrupted bytes in one message exceed the single-error correction
+  // capability: the decoder must raise (detection never silently degrades
+  // to a wrong C), and the error is rank-attributed like any other fault.
+  // Offsets 0 and 5 put the errors at parity positions 1 and 6, which
+  // differ in more than one bit — a pair the XOR parity provably cannot
+  // mistake for a correctable single error (see docs/RESILIENCE.md).
+  FaultPlan fp;
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 0; dst < 4; ++dst)
+      for (i64 off : {i64{0}, i64{5}})
+        fp.flips.push_back({.src = src,
+                            .dst = dst,
+                            .tag = 101,
+                            .nth_match = 1,
+                            .offset = off,
+                            .mask = 0x10});
+  std::vector<std::vector<double>> out(4);
+  Cluster cl(4, Machine::unit_test());
+  cl.set_fault_plan(fp);
+  Ca3dmmOptions opt;
+  opt.abft = true;
+  opt.force_grid = ProcGrid{2, 2, 1};
+  const std::string msg =
+      run_expect_error(cl, pgemm_main(48, 48, 48, &out, opt));
+  EXPECT_NE(msg.find("abft: uncorrectable corruption"), std::string::npos)
+      << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level recovery: a failed request must not poison the PgemmEngine.
+// ---------------------------------------------------------------------------
+
+TEST(EngineRecovery, EngineIsReusableAfterFailedRequest) {
+  // A request that fails validation mid-execute (same plan key as a cached
+  // good request, but an inconsistent C layout) must invalidate the
+  // poisoned cache entry; the next identical good request rebuilds it and
+  // produces a bit-identical result.
+  const i64 m = 24;
+  const int P = 4;
+  const BlockLayout lay = BlockLayout::col_1d(m, m, P);
+  const BlockLayout c_bad(m + 1, m, P);
+  Cluster cl(P, Machine::unit_test());
+  engine::EngineStats st;
+  std::vector<std::vector<double>> first(P), second(P);
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> a, b;
+    fill_local(lay, me, kSeedA, a);
+    fill_local(lay, me, kSeedB, b);
+    std::vector<double> c(static_cast<size_t>(lay.local_size(me)));
+    engine::PgemmEngine eng(world);
+    engine::Request<double> good;
+    good.m = m;
+    good.n = m;
+    good.k = m;
+    good.a_layout = &lay;
+    good.a = a.data();
+    good.b_layout = &lay;
+    good.b = b.data();
+    good.c_layout = &lay;
+    good.c = c.data();
+    eng.multiply(good);
+    first[static_cast<size_t>(me)] = c;
+
+    // Same plan key, bad C layout: every rank raises the same validation
+    // error before any communication, so the failure is symmetric and the
+    // cluster keeps running.
+    std::vector<double> cb(static_cast<size_t>(c_bad.local_size(me)));
+    engine::Request<double> bad = good;
+    bad.c_layout = &c_bad;
+    bad.c = cb.data();
+    try {
+      eng.multiply(bad);
+      ADD_FAILURE() << "bad request did not raise";
+    } catch (const Error&) {
+    }
+
+    std::fill(c.begin(), c.end(), 0.0);
+    eng.multiply(good);
+    second[static_cast<size_t>(me)] = c;
+    if (me == 0) st = eng.stats();
+  });
+  EXPECT_EQ(st.plan_misses, 2);          // first good + rebuild after poison
+  EXPECT_EQ(st.plan_hits, 1);            // the bad request hit the cache
+  EXPECT_EQ(st.plan_invalidations, 1);   // ... and poisoned the entry
+  EXPECT_EQ(st.requests, 2);             // only successful requests count
+  expect_bitwise_equal(second, first, P);
 }
 
 }  // namespace

@@ -11,10 +11,14 @@
 #include <algorithm>
 #include <vector>
 
+#include <memory>
+
 #include "core/ca3dmm.hpp"
 #include "costmodel/model.hpp"
 #include "linalg/matrix.hpp"
 #include "simmpi/cluster.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/pool.hpp"
 
 namespace ca3dmm {
 namespace {
@@ -117,6 +121,80 @@ TEST(Memory, ModelTracksGridChanges) {
   EXPECT_GT(static_cast<double>(first) / static_cast<double>(last), 8.0);
   const auto [mn, mx] = std::minmax_element(ratios.begin(), ratios.end());
   EXPECT_GT(*mx / *mn, 1.4);  // uneven decay = grid shape transitions
+}
+
+TEST(Memory, FaultAbortLeavesNoLeakedOrStaleBuffers) {
+  // Recovery regression: a rank killed mid-multiply unwinds every peer
+  // through its PoolScope. Afterwards (a) no tracked bytes may remain
+  // checked out on any rank — cur_bytes back to zero, nothing leaked — and
+  // (b) a clean rerun on the SAME pools must produce a bit-identical C,
+  // proving pooled reuse after an aborted run hands out zeroed memory, not
+  // stale bytes from the failed attempt.
+  const int P = 4;
+  const Ca3dmmPlan plan = Ca3dmmPlan::make(32, 32, 32, P);
+  const BlockLayout a_nat = plan.a_native();
+  const BlockLayout b_nat = plan.b_native();
+  const BlockLayout c_nat = plan.c_native();
+  std::vector<std::unique_ptr<simmpi::BufferPool>> pools;
+  for (int r = 0; r < P; ++r)
+    pools.push_back(std::make_unique<simmpi::BufferPool>());
+
+  std::vector<std::vector<double>> c_out(P);
+  const auto rank_body = [&](Comm& world) {
+    const int me = world.rank();
+    simmpi::PoolScope scope(pools[static_cast<size_t>(me)].get());
+    std::vector<double> a(static_cast<size_t>(a_nat.local_size(me)), 1.0);
+    std::vector<double> b(static_cast<size_t>(b_nat.local_size(me)), 1.0);
+    std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
+    ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
+                            b.data(), c_nat, c.data());
+    c_out[static_cast<size_t>(me)] = std::move(c);
+  };
+
+  Cluster cl(P, Machine::unit_test());
+  simmpi::FaultPlan fp;
+  fp.kills.push_back({.rank = 2, .at_op = 6});  // inside the Cannon step
+  cl.set_fault_plan(fp);
+  EXPECT_THROW(cl.run(rank_body), Error);
+
+  i64 pooled_after_abort = 0;
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(cl.stats(r).cur_bytes, 0) << "rank " << r << " leaked";
+    pooled_after_abort += pools[static_cast<size_t>(r)]->idle_bytes();
+  }
+  EXPECT_GT(pooled_after_abort, 0);  // unwinding returned buffers, not lost
+
+  // Clean rerun on the same (now warm) pools.
+  cl.set_fault_plan(simmpi::FaultPlan{});
+  cl.run(rank_body);
+  i64 pool_hits = 0;
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(cl.stats(r).cur_bytes, 0) << "rank " << r;
+    pool_hits += pools[static_cast<size_t>(r)]->stats().hits;
+  }
+  EXPECT_GT(pool_hits, 0);  // the rerun actually reused aborted-run buffers
+
+  // Reference without any pool: the pooled post-abort rerun must match
+  // bit for bit.
+  std::vector<std::vector<double>> c_ref(P);
+  Cluster ref(P, Machine::unit_test());
+  ref.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> a(static_cast<size_t>(a_nat.local_size(me)), 1.0);
+    std::vector<double> b(static_cast<size_t>(b_nat.local_size(me)), 1.0);
+    std::vector<double> c(static_cast<size_t>(c_nat.local_size(me)));
+    ca3dmm_multiply<double>(world, plan, false, false, a_nat, a.data(), b_nat,
+                            b.data(), c_nat, c.data());
+    c_ref[static_cast<size_t>(me)] = std::move(c);
+  });
+  for (int r = 0; r < P; ++r) {
+    ASSERT_EQ(c_out[static_cast<size_t>(r)].size(),
+              c_ref[static_cast<size_t>(r)].size());
+    for (size_t i = 0; i < c_ref[static_cast<size_t>(r)].size(); ++i)
+      ASSERT_EQ(c_out[static_cast<size_t>(r)][i],
+                c_ref[static_cast<size_t>(r)][i])
+          << "rank " << r << " element " << i;
+  }
 }
 
 }  // namespace

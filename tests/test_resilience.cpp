@@ -1,0 +1,195 @@
+// ABFT checksum codec (src/resilience/abft) and its cost-model pricing:
+// exhaustive single-byte correction, documented double-corruption behavior,
+// trailer-size monotonicity, the drift gate on protected runs (predicted
+// virtual time and peak memory must stay EXACT with abft on), and the
+// overhead bound — checksums must cost < 10% of the unprotected virtual
+// time at a Fig. 3-scale shape.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "costmodel/drift.hpp"
+#include "costmodel/model.hpp"
+#include "resilience/abft.hpp"
+#include "simmpi/cluster.hpp"
+
+namespace ca3dmm::resilience {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Workload;
+using costmodel::check_drift;
+using costmodel::predict;
+using simmpi::Cluster;
+using simmpi::Machine;
+
+std::vector<unsigned char> pattern_payload(i64 bytes) {
+  std::vector<unsigned char> p(static_cast<size_t>(bytes));
+  for (i64 i = 0; i < bytes; ++i)
+    p[static_cast<size_t>(i)] =
+        static_cast<unsigned char>((i * 131 + 17) & 0xFF);
+  return p;
+}
+
+TEST(AbftCodec, CleanRoundTrip) {
+  for (i64 bytes : {i64{1}, i64{2}, i64{7}, i64{64}, i64{1000}, i64{4608}}) {
+    std::vector<unsigned char> payload = pattern_payload(bytes);
+    std::vector<unsigned char> trailer(
+        static_cast<size_t>(abft_trailer_bytes(bytes)));
+    abft_encode(payload.data(), bytes, trailer.data());
+    const AbftDecodeResult res =
+        abft_decode(payload.data(), bytes, trailer.data());
+    EXPECT_EQ(res.outcome, AbftOutcome::kClean) << "bytes=" << bytes;
+    EXPECT_EQ(payload, pattern_payload(bytes));
+  }
+}
+
+TEST(AbftCodec, EverySingleByteFlipIsCorrectedOrAbsorbed) {
+  // Exhaustive: every payload byte and every trailer byte, two masks each.
+  // Payload hits must be corrected in place with the exact location and
+  // delta reported; trailer hits must be absorbed with the payload intact.
+  for (i64 bytes : {i64{1}, i64{5}, i64{64}, i64{1000}}) {
+    const std::vector<unsigned char> ref = pattern_payload(bytes);
+    const i64 tb = abft_trailer_bytes(bytes);
+    std::vector<unsigned char> ref_trailer(static_cast<size_t>(tb));
+    abft_encode(ref.data(), bytes, ref_trailer.data());
+
+    for (unsigned char mask : {static_cast<unsigned char>(0x01),
+                               static_cast<unsigned char>(0x80)}) {
+      for (i64 pos = 0; pos < bytes + tb; ++pos) {
+        SCOPED_TRACE("bytes=" + std::to_string(bytes) +
+                     " pos=" + std::to_string(pos) +
+                     " mask=" + std::to_string(mask));
+        std::vector<unsigned char> payload = ref;
+        std::vector<unsigned char> trailer = ref_trailer;
+        if (pos < bytes)
+          payload[static_cast<size_t>(pos)] ^= mask;
+        else
+          trailer[static_cast<size_t>(pos - bytes)] ^= mask;
+        const AbftDecodeResult res =
+            abft_decode(payload.data(), bytes, trailer.data());
+        if (pos < bytes) {
+          ASSERT_EQ(res.outcome, AbftOutcome::kCorrected);
+          EXPECT_EQ(res.offset, pos);
+          EXPECT_EQ(res.delta, mask);
+        } else {
+          ASSERT_EQ(res.outcome, AbftOutcome::kTrailerHit);
+        }
+        EXPECT_EQ(payload, ref);  // payload restored (or never corrupted)
+      }
+    }
+  }
+}
+
+TEST(AbftCodec, DoubleCorruptionIsDetectedNotMiscorrected) {
+  // Two corrupted payload bytes whose 1-based parity positions differ in
+  // more than one bit can never alias to a clean, single-error, or
+  // trailer-hit syndrome: the decoder must report kUncorrectable and leave
+  // the payload bytes untouched beyond the injected corruption.
+  const i64 bytes = 64;
+  const std::vector<unsigned char> ref = pattern_payload(bytes);
+  std::vector<unsigned char> trailer(
+      static_cast<size_t>(abft_trailer_bytes(bytes)));
+  abft_encode(ref.data(), bytes, trailer.data());
+
+  // Positions 1 and 6 (offsets 0 and 5): three differing bits.
+  {
+    std::vector<unsigned char> payload = ref;
+    payload[0] ^= 0x10;
+    payload[5] ^= 0x10;
+    const AbftDecodeResult res =
+        abft_decode(payload.data(), bytes, trailer.data());
+    EXPECT_EQ(res.outcome, AbftOutcome::kUncorrectable);
+  }
+  // Different masks at positions 1 and 9: S_all matches neither nonzero
+  // positional syndrome uniformly.
+  {
+    std::vector<unsigned char> payload = ref;
+    payload[0] ^= 0x10;
+    payload[8] ^= 0x20;
+    const AbftDecodeResult res =
+        abft_decode(payload.data(), bytes, trailer.data());
+    EXPECT_EQ(res.outcome, AbftOutcome::kUncorrectable);
+  }
+  // Payload byte + the X_all trailer byte: the nonzero positional
+  // syndromes locate the payload byte but S_all disagrees.
+  {
+    std::vector<unsigned char> payload = ref;
+    std::vector<unsigned char> tr = trailer;
+    payload[2] ^= 0x10;
+    tr[0] ^= 0x20;
+    const AbftDecodeResult res = abft_decode(payload.data(), bytes, tr.data());
+    EXPECT_EQ(res.outcome, AbftOutcome::kUncorrectable);
+  }
+}
+
+TEST(AbftCodec, TrailerSizeIsMonotonicAndSmall) {
+  EXPECT_EQ(abft_trailer_bytes(0), 0);
+  i64 prev = 0;
+  for (i64 bytes = 1; bytes <= (1 << 20); bytes *= 2) {
+    const i64 tb = abft_trailer_bytes(bytes);
+    EXPECT_GE(tb, prev);  // monotonic: max(send, recv) mirrors correctly
+    prev = tb;
+  }
+  EXPECT_EQ(abft_trailer_bytes(4608), 14);  // the 24x24 double tile
+  EXPECT_EQ(abft_trailer_elems(576, 8), 2);
+  EXPECT_EQ(abft_msg_elems<double>(576), 578);
+}
+
+TEST(AbftCodec, ZeroAndEmptyPayloads) {
+  // Zero-length payloads encode to an empty trailer and decode clean.
+  std::vector<unsigned char> trailer(8, 0xAB);
+  abft_encode(nullptr, 0, trailer.data());
+  const AbftDecodeResult res = abft_decode(nullptr, 0, trailer.data());
+  EXPECT_EQ(res.outcome, AbftOutcome::kClean);
+  double buf[4] = {1.0, 2.0, 3.0, 4.0};
+  abft_encode_msg<double>(buf, 0);  // no-op
+  EXPECT_EQ(abft_decode_msg<double>(buf, 0).outcome, AbftOutcome::kClean);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model integration: the drift gate must stay exact with abft on, and
+// the modeled overhead must stay under 10% at paper-scale shapes.
+// ---------------------------------------------------------------------------
+
+TEST(AbftCostModel, DriftGateStaysExactWithProtectionOn) {
+  // The model mirrors the enlarged messages, the staging buffers, and the
+  // encode/decode scans at the engine's program points; predicted time and
+  // peak memory must match the protected execution exactly.
+  {
+    Workload w;
+    w.m = w.n = w.k = 48;
+    w.force_grid = ProcGrid{2, 2, 1};
+    w.abft = true;
+    Cluster cl(4, Machine::unit_test());
+    const auto rep = check_drift(Algo::kCa3dmm, w, cl);
+    EXPECT_TRUE(rep.ok()) << rep.table();
+  }
+  {
+    // Unforced grid with replication and k-parallelism in play.
+    Workload w;
+    w.m = w.n = w.k = 48;
+    w.abft = true;
+    Cluster cl(8, Machine::unit_test());
+    const auto rep = check_drift(Algo::kCa3dmm, w, cl);
+    EXPECT_TRUE(rep.ok()) << rep.table();
+  }
+}
+
+TEST(AbftCostModel, OverheadUnderTenPercentAtPaperScale) {
+  // Fig. 3-scale square case: checksum trailers and scans must price in at
+  // under 10% of the unprotected predicted virtual time.
+  Workload w;
+  w.m = w.n = w.k = 50000;
+  const int P = 1024;
+  const Machine mach = Machine::unit_test();
+  const double t_off = predict(Algo::kCa3dmm, w, P, mach).t_total;
+  w.abft = true;
+  const double t_on = predict(Algo::kCa3dmm, w, P, mach).t_total;
+  EXPECT_GE(t_on, t_off);  // protection is never free
+  EXPECT_LT(t_on, 1.10 * t_off) << "abft overhead " << (t_on / t_off - 1.0);
+}
+
+}  // namespace
+}  // namespace ca3dmm::resilience
