@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -153,10 +154,64 @@ inline void parse_fault_flags(int* argc, char** argv) {
   *argc = out;
 }
 
+/// Multi-tenant service knobs shared by bench_service and the service
+/// smoke tooling. Zero / empty means "use the scenario's default".
+struct ServiceFlags {
+  int tenants = 0;              ///< --tenants N
+  std::vector<double> weights;  ///< --weights a,b,c,... (cycled over tenants)
+  i64 quota_mb = 0;             ///< --quota-mb N, per-tenant memory quota
+};
+
+inline ServiceFlags& bench_service_flags() {
+  static ServiceFlags flags;
+  return flags;
+}
+
+/// Parses and strips `--tenants N`, `--weights a,b,...` and `--quota-mb N`
+/// (space- or =-separated) before google-benchmark sees argv.
+inline void parse_service_flags(int* argc, char** argv) {
+  ServiceFlags& flags = bench_service_flags();
+  const auto parse_weights = [&flags](const char* s) {
+    flags.weights.clear();
+    while (*s != '\0') {
+      char* end = nullptr;
+      const double w = std::strtod(s, &end);
+      if (end == s || w <= 0) {
+        std::fprintf(stderr, "bad --weights list (positive numbers, "
+                             "comma-separated)\n");
+        std::exit(2);
+      }
+      flags.weights.push_back(w);
+      s = *end == ',' ? end + 1 : end;
+    }
+  };
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const auto value = [&](const char* name, const char* eq) -> const char* {
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < *argc)
+        return argv[++i];
+      if (std::strncmp(argv[i], eq, std::strlen(eq)) == 0)
+        return argv[i] + std::strlen(eq);
+      return nullptr;
+    };
+    if (const char* v = value("--tenants", "--tenants=")) {
+      flags.tenants = std::atoi(v);
+    } else if (const char* v = value("--weights", "--weights=")) {
+      parse_weights(v);
+    } else if (const char* v = value("--quota-mb", "--quota-mb=")) {
+      flags.quota_mb = std::atoll(v);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 /// Standard main body: run the registered benchmarks, then the paper table.
 inline int run_bench_main(int argc, char** argv,
                           const std::function<void()>& print_tables) {
   parse_fault_flags(&argc, argv);
+  parse_service_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -54,6 +54,13 @@ struct Workload {
   /// program points as the engine, so predictions (and the drift gate) stay
   /// exact for protected runs. Ignored by the other algorithms.
   bool abft = false;
+  /// Plan and split communicators already cached — the persistent engine's
+  /// hit path (engine/engine.hpp). Zeroes the four per-plan communicator
+  /// splits (world/cannon/replication/reduction) that PlanComms caches;
+  /// SUMMA's per-call row/col splits still charge, exactly like the
+  /// executable hit path. kCa3dmm/kCa3dmmSumma only: the other algorithms
+  /// have no communicator cache to be warm in.
+  bool warm_comms = false;
 };
 
 struct Prediction {

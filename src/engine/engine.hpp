@@ -31,6 +31,16 @@
 // object; cache state evolves identically on all ranks because the request
 // stream does. Results are bit-identical to the one-shot path.
 //
+// Concurrency: the engine is safe for concurrent callers on one rank. A
+// mutex serializes multiply/submit/plan_for (collectives of one rank cannot
+// interleave anyway — serialization is the only sound semantic, and it is
+// what a serving layer's worker threads need), and the engine re-installs
+// its owning rank's context + pool for the duration of each call, so helper
+// threads without a rank context of their own can drive requests on the
+// owning rank's behalf. Cross-rank collective matching remains the caller's
+// contract: when racing callers can reorder requests, the interleaving must
+// be order-insensitive (single-rank world, or identical requests).
+//
 // Failure semantics: a rank killed mid-batch triggers the cluster's
 // cooperative abort, every peer unwinds, and Cluster::run raises one
 // aggregated ca3dmm::Error. An engine whose execute() sees a ca3dmm::Error
@@ -47,10 +57,12 @@
 
 #include <cstddef>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ca3dmm.hpp"
+#include "simmpi/cluster.hpp"
 #include "simmpi/pool.hpp"
 
 namespace ca3dmm::engine {
@@ -62,6 +74,11 @@ struct EngineConfig {
   size_t plan_cache_capacity = 8;
   /// Cap on idle pooled buffer bytes per rank (see BufferPool).
   i64 pool_max_idle_bytes = 256ll << 20;
+  /// Hard cap on the pool's total per-rank footprint (live + idle); 0 =
+  /// unlimited. See BufferPool::set_footprint_budget — with a budget set,
+  /// the pool's high-water mark provably stays under
+  /// max(budget, peak live bytes), the serving layer's zero-OOM bound.
+  i64 pool_footprint_budget_bytes = 0;
 };
 
 /// Monotonic per-engine counters. Cache counters evolve identically on
@@ -134,10 +151,22 @@ class PgemmEngine {
   const Ca3dmmPlan& plan_for(i64 m, i64 n, i64 k,
                              const Ca3dmmOptions& opt = {});
 
+  /// True when the shape's plan (and split communicators) are already
+  /// cached, i.e. the next request of this shape takes the warm path.
+  /// Purely local — never plans, never communicates — so a serving layer
+  /// may consult it for pricing without collective discipline.
+  bool is_cached(i64 m, i64 n, i64 k, const Ca3dmmOptions& opt = {}) const;
+
+  /// Frees idle pooled buffers (largest first) until at most
+  /// `target_idle_bytes` remain parked; returns the bytes freed. Purely
+  /// local and safe mid-stream — the memory-pressure hook for a serving
+  /// layer (see BufferPool::trim).
+  i64 trim_pool(i64 target_idle_bytes);
+
   /// Counters, with a current buffer-pool snapshot merged in.
   EngineStats stats() const;
 
-  size_t cached_plans() const { return lru_.size(); }
+  size_t cached_plans() const;
 
   /// Drops every cached plan (with its communicators) and all idle pooled
   /// buffers. Purely local: no communication, no virtual-time charge.
@@ -172,6 +201,14 @@ class PgemmEngine {
 
   simmpi::Comm world_;
   EngineConfig cfg_;
+  /// Rank context of the thread that constructed the engine. Each public
+  /// call re-installs it (RankCtxScope) so helper threads adopt the owning
+  /// rank's clock/stats/tracking for the call's duration.
+  simmpi::RankCtx* owner_ctx_;
+  /// Serializes all public entry points. The LRU list, index, pool, and
+  /// stats — and the underlying per-rank communicator — are single-caller
+  /// structures; one caller at a time is the only sound semantic.
+  mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
   simmpi::BufferPool pool_;

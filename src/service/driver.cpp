@@ -1,0 +1,55 @@
+#include "service/driver.hpp"
+
+#include <utility>
+
+namespace ca3dmm::service {
+
+ServiceDriver::ServiceDriver(int nranks, simmpi::Machine machine,
+                             ServiceConfig cfg,
+                             resilience::RetryPolicy policy)
+    : nranks_(nranks),
+      machine_(std::move(machine)),
+      cfg_(std::move(cfg)),
+      policy_(policy) {}
+
+ServiceReport ServiceDriver::run(const std::vector<ServiceRequest>& load) {
+  committed_.clear();
+  pending_.clear();
+  resilience::ResilientRunner runner(nranks_, machine_, policy_);
+  runner.set_fault_plan(faults_);
+  ServiceReport report;
+  runner.run([&](simmpi::Comm& world) {
+    if (world.rank() == 0) {
+      // Fold the previous attempt's partial journal into the committed
+      // record: the done = false in-flight mark becomes the one kFailed
+      // verdict (charged to its own tenant); every other decision — the
+      // completed requests with their executed latencies, the rejections
+      // with their original quotes — is committed verbatim and will be
+      // replayed, not re-run.
+      for (RequestRecord rec : pending_) {
+        if (!rec.done) {
+          rec.done = true;
+          rec.verdict = static_cast<int>(Verdict::kFailed);
+          rec.finish_s = rec.start_s;
+        }
+        committed_.push_back(rec);
+      }
+      pending_.clear();
+    }
+    // The barrier publishes rank 0's fold before any rank reads the
+    // journal; afterwards the journal is read-only until rank 0's serving
+    // loop (the single writer) appends new decisions.
+    world.barrier();
+    PgemmService svc(world, cfg_);
+    ServiceReport r =
+        svc.serve(load, committed_, world.rank() == 0 ? &pending_ : nullptr);
+    if (world.rank() == 0) report = r;
+  });
+  recovery_ = runner.report();
+  // Fold the successful attempt too, so journal() is the complete record.
+  committed_.insert(committed_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  return report;
+}
+
+}  // namespace ca3dmm::service

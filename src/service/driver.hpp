@@ -1,0 +1,60 @@
+// ServiceDriver: the fault-isolating outer loop of the PGEMM service.
+//
+// serve() runs inside a cluster; an injected fault (resilience/faults) kills
+// the whole run via the cooperative abort — including other tenants'
+// in-flight accounting. The driver makes that loss exactly one request
+// wide: it owns a journal of committed decisions, lets rank 0 append each
+// new decision as it is made (including a done = false mark before every
+// dispatch), and wraps the serving loop in a ResilientRunner. When an
+// attempt aborts, the runner shrinks the world; on the next attempt the
+// driver folds the partial journal into the committed one — marking the
+// in-flight request failed — and serve() replays: completed requests
+// re-enter accounting with their journaled latencies (never re-executed),
+// rejected ones keep their original verdicts, and only work that had not
+// yet dispatched runs on the survivors. The faulting tenant therefore eats
+// its own failure; everyone else pays at most the recovery latency.
+//
+// The fold runs on rank 0 before a world barrier and the journal is read
+// only after it, so the single-writer journal needs no locking.
+#pragma once
+
+#include "resilience/recovery.hpp"
+#include "service/service.hpp"
+
+namespace ca3dmm::service {
+
+class ServiceDriver {
+ public:
+  /// `cfg.tenants` etc. as for PgemmService; `policy` bounds the
+  /// shrink-and-replan loop exactly as in resilience/recovery.hpp.
+  ServiceDriver(int nranks, simmpi::Machine machine, ServiceConfig cfg,
+                resilience::RetryPolicy policy = {});
+
+  /// Faults injected into attempt 1 (remapped across shrinks by the
+  /// runner). Attribute them to a tenant via FaultPlan timing so the
+  /// isolation tests can place the blast radius.
+  void set_fault_plan(simmpi::FaultPlan plan) { faults_ = std::move(plan); }
+
+  /// Serves `load` to completion with shrink-and-replan recovery. Returns
+  /// the final attempt's report (rank 0's view — tenant accounting is
+  /// identical on every rank by construction). Throws like
+  /// ResilientRunner::run when the retry budget is exhausted.
+  ServiceReport run(const std::vector<ServiceRequest>& load);
+
+  /// Recovery trace of the last run (attempts, shrinks, backoff).
+  const resilience::RecoveryReport& recovery() const { return recovery_; }
+  /// Committed decision journal of the last run, decision order.
+  const std::vector<RequestRecord>& journal() const { return committed_; }
+
+ private:
+  int nranks_;
+  simmpi::Machine machine_;
+  ServiceConfig cfg_;
+  resilience::RetryPolicy policy_;
+  simmpi::FaultPlan faults_;
+  std::vector<RequestRecord> committed_;
+  std::vector<RequestRecord> pending_;
+  resilience::RecoveryReport recovery_;
+};
+
+}  // namespace ca3dmm::service

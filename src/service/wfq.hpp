@@ -1,0 +1,99 @@
+// Weighted fair queueing over predicted virtual time.
+//
+// Start-time fair queueing (SFQ): each tenant carries a chain of virtual
+// tags. An item enqueued for tenant t gets start tag S = max(V, F_prev(t))
+// and finish tag F = S + cost / weight(t), where V is the scheduler's
+// virtual time (the start tag of the item most recently picked) and
+// F_prev(t) chains within the tenant. pick() serves the eligible item with
+// the smallest finish tag, which over any interval where tenants stay
+// backlogged serves them virtual time proportional to their weights — the
+// property tests/test_service.cpp gates at ±5%.
+//
+// Priority classes sit on top: a lower class number is served strictly
+// first, EXCEPT that an item that has waited longer than the starvation
+// bound (in service virtual time, supplied by the caller at pick()) is
+// promoted to class 0 for selection — so a flood of high-priority work can
+// delay batch tenants by at most the bound, never forever.
+//
+// Costs are *predicted* seconds (costmodel admission quotes). The caller
+// feeds *executed* seconds back through on_served(), which is what the
+// fairness metrics and the served() accounting report. Everything here is
+// plain deterministic data structure — no clocks, no randomness — so every
+// rank of a deterministic service loop makes identical scheduling
+// decisions.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/partition.hpp"
+
+namespace ca3dmm::service {
+
+class WfqScheduler {
+ public:
+  /// `starvation_bound_s` <= 0 disables aging (strict priority classes).
+  explicit WfqScheduler(double starvation_bound_s = 0)
+      : starvation_bound_s_(starvation_bound_s) {}
+
+  /// Registers a tenant. Must be called before enqueueing for it. Lower
+  /// `priority_class` is served first (subject to the starvation bound).
+  void add_tenant(int tenant, double weight, int priority_class = 0);
+
+  /// Appends an item (FIFO within the tenant). `cost` is the predicted
+  /// service time in seconds; `now_s` is the service's current virtual time
+  /// (used only for starvation aging). Items are identified by caller ids.
+  void enqueue(int tenant, i64 id, double cost, double now_s);
+
+  struct Pick {
+    int tenant = 0;
+    i64 id = 0;
+    double cost = 0;       ///< predicted cost the item was enqueued with
+    double enqueued_s = 0; ///< service vtime at enqueue (queueing delay)
+  };
+
+  /// Dequeues the next item by (effective class, finish tag, tenant).
+  /// `now_s` is the service's current virtual time. Empty when no items.
+  std::optional<Pick> pick(double now_s);
+
+  /// Feeds executed virtual time of a completed item back into the
+  /// tenant's served accounting.
+  void on_served(int tenant, double executed_s);
+
+  bool empty() const { return queued_ == 0; }
+  i64 queued() const { return queued_; }
+  i64 queue_depth(int tenant) const;
+  /// Sum of predicted costs currently queued for the tenant.
+  double queued_cost(int tenant) const;
+  /// Cumulative executed virtual time served to the tenant.
+  double served(int tenant) const;
+  double weight(int tenant) const;
+  double total_weight() const;
+  /// True when every registered tenant has at least one queued item — the
+  /// condition under which the weighted-fairness guarantee applies.
+  bool all_backlogged() const;
+
+ private:
+  struct Item {
+    i64 id = 0;
+    double cost = 0;
+    double start_tag = 0;
+    double finish_tag = 0;
+    double enqueued_s = 0;
+  };
+  struct Tenant {
+    double weight = 1.0;
+    int priority_class = 0;
+    double last_finish = 0;  ///< finish tag chain within the tenant
+    double served_s = 0;     ///< cumulative executed vtime
+    std::deque<Item> q;
+  };
+
+  double starvation_bound_s_;
+  double vtime_ = 0;  ///< start tag of the most recently picked item
+  i64 queued_ = 0;
+  std::map<int, Tenant> tenants_;  ///< ordered: deterministic iteration
+};
+
+}  // namespace ca3dmm::service

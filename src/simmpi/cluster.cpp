@@ -15,6 +15,10 @@ thread_local RankCtx* g_ctx = nullptr;
 
 RankCtx* current_ctx() { return g_ctx; }
 
+RankCtxScope::RankCtxScope(RankCtx* ctx) : saved_(g_ctx) { g_ctx = ctx; }
+
+RankCtxScope::~RankCtxScope() { g_ctx = saved_; }
+
 const char* phase_name(Phase p) {
   switch (p) {
     case Phase::kRedistribute: return "redistribute";

@@ -149,6 +149,25 @@ struct RankCtx {
 /// Context of the calling rank thread; null outside Cluster::run.
 RankCtx* current_ctx();
 
+/// RAII adoption of a rank context by the calling thread (nests; the
+/// previous context is restored on destruction). Rank threads get their
+/// context installed by Cluster::run; this scope lets a *helper* thread a
+/// rank spawned (e.g. concurrent callers racing into PgemmEngine::submit)
+/// act as that rank — charging virtual time, tracking memory, and driving
+/// collectives on its behalf. The adopting threads must hand the context
+/// around with mutual exclusion (one thread inside the scope's rank at a
+/// time); RankCtx itself is not thread-safe.
+class RankCtxScope {
+ public:
+  explicit RankCtxScope(RankCtx* ctx);
+  ~RankCtxScope();
+  RankCtxScope(const RankCtxScope&) = delete;
+  RankCtxScope& operator=(const RankCtxScope&) = delete;
+
+ private:
+  RankCtx* saved_;
+};
+
 /// Records a zero-duration trace marker on the calling rank's timeline at
 /// its current virtual time (plan build, engine cache event, redistribution
 /// pack/unpack, ...). `name` must be a static string. No-op outside a rank

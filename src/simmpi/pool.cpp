@@ -11,6 +11,12 @@ thread_local BufferPool* tls_pool = nullptr;
 
 BufferPool::~BufferPool() { trim(); }
 
+void BufferPool::note_footprint() {
+  stats_.idle_bytes = idle_bytes_;
+  const i64 footprint = stats_.live_bytes + idle_bytes_;
+  if (footprint > stats_.high_water_bytes) stats_.high_water_bytes = footprint;
+}
+
 void* BufferPool::acquire(i64 bytes) {
   CA_ASSERT(bytes > 0);
   auto it = free_.find(bytes);
@@ -21,19 +27,37 @@ void* BufferPool::acquire(i64 bytes) {
     idle_bytes_ -= bytes;
     ++stats_.hits;
     stats_.bytes_reused += bytes;
+    stats_.live_bytes += bytes;
+    note_footprint();
     // Pooled memory must look like a fresh `new T[n]()` allocation.
     std::memset(p, 0, static_cast<size_t>(bytes));
     return p;
   }
   ++stats_.misses;
+  // A fresh allocation is the only way the footprint grows: under a budget,
+  // make room for it by evicting idle allocations before touching the heap.
+  if (footprint_budget_bytes_ > 0) {
+    while (!free_.empty() &&
+           stats_.live_bytes + bytes + idle_bytes_ > footprint_budget_bytes_) {
+      auto bi = std::prev(free_.end());
+      ::operator delete(bi->second.back());
+      bi->second.pop_back();
+      idle_bytes_ -= bi->first;
+      ++stats_.trims;
+      if (bi->second.empty()) free_.erase(bi);
+    }
+  }
   void* p = ::operator new(static_cast<size_t>(bytes));
   std::memset(p, 0, static_cast<size_t>(bytes));
+  stats_.live_bytes += bytes;
+  note_footprint();
   return p;
 }
 
 void BufferPool::give_back(void* p, i64 bytes) {
   if (p == nullptr) return;
   CA_ASSERT(bytes > 0);
+  stats_.live_bytes -= bytes;
   // Make room by dropping the largest idle allocations first; if the
   // incoming buffer alone busts the cap, free it instead of pooling it.
   while (idle_bytes_ + bytes > max_idle_bytes_ && !free_.empty()) {
@@ -47,19 +71,30 @@ void BufferPool::give_back(void* p, i64 bytes) {
   if (idle_bytes_ + bytes > max_idle_bytes_) {
     ::operator delete(p);
     ++stats_.trims;
+    note_footprint();
     return;
   }
   free_[bytes].push_back(p);
   idle_bytes_ += bytes;
+  note_footprint();
 }
 
-void BufferPool::trim() {
-  for (auto& [bytes, list] : free_) {
-    for (void* p : list) ::operator delete(p);
-    (void)bytes;
+i64 BufferPool::trim(i64 target_idle_bytes) {
+  if (target_idle_bytes < 0) target_idle_bytes = 0;
+  const i64 before = idle_bytes_;
+  // Largest idle allocations go first: they reclaim the most bytes per
+  // freed buffer, and small same-shape scratch (the common steady-state
+  // reuse) survives the longest.
+  while (idle_bytes_ > target_idle_bytes && !free_.empty()) {
+    auto it = std::prev(free_.end());
+    ::operator delete(it->second.back());
+    it->second.pop_back();
+    idle_bytes_ -= it->first;
+    ++stats_.trims;
+    if (it->second.empty()) free_.erase(it);
   }
-  free_.clear();
-  idle_bytes_ = 0;
+  note_footprint();
+  return before - idle_bytes_;
 }
 
 BufferPool* current_buffer_pool() { return tls_pool; }

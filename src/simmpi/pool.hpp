@@ -35,12 +35,22 @@
 
 namespace ca3dmm::simmpi {
 
-/// Reuse statistics of one pool (monotonic over the pool's lifetime).
+/// Reuse statistics of one pool. The counters are monotonic over the pool's
+/// lifetime; the gauges track the pool's current and historical footprint —
+/// what a serving layer consults to enforce memory budgets (live + idle must
+/// stay under budget, high_water_bytes proves it never did not).
 struct PoolStats {
   i64 hits = 0;            ///< acquires served from a free list
   i64 misses = 0;          ///< acquires that hit the heap
   i64 bytes_reused = 0;    ///< total bytes served from free lists
   i64 trims = 0;           ///< allocations freed to respect max_idle_bytes
+
+  // --- gauges ---
+  i64 live_bytes = 0;       ///< bytes currently checked out of the pool
+  i64 idle_bytes = 0;       ///< bytes currently parked on free lists
+  /// Maximum of live_bytes + idle_bytes ever reached (the pool's total
+  /// memory footprint high-water mark).
+  i64 high_water_bytes = 0;
 
   double hit_rate() const {
     const i64 total = hits + misses;
@@ -66,16 +76,35 @@ class BufferPool {
   void* acquire(i64 bytes);
   void give_back(void* p, i64 bytes);
 
-  /// Frees every idle allocation.
-  void trim();
+  /// Frees idle allocations (largest first) until at most
+  /// `target_idle_bytes` remain parked. trim() with no argument frees every
+  /// idle allocation. This is the reclamation hook a serving layer calls
+  /// under memory pressure: live (checked-out) allocations are untouched, so
+  /// trimming is always safe mid-stream. Returns the bytes freed.
+  i64 trim(i64 target_idle_bytes = 0);
+
+  /// Hard cap on the pool's total footprint (live + idle bytes); 0 = off.
+  /// Enforced at the only point the footprint can grow — a fresh heap
+  /// allocation on an acquire miss — by evicting idle allocations (largest
+  /// first) until the new allocation fits. Live allocations are never
+  /// denied, so with a budget set, high_water_bytes <= max(budget, peak
+  /// live bytes): a serving layer that admits only requests whose predicted
+  /// peak fits the budget gets a provable zero-OOM bound.
+  void set_footprint_budget(i64 bytes) { footprint_budget_bytes_ = bytes; }
+  i64 footprint_budget() const { return footprint_budget_bytes_; }
 
   i64 idle_bytes() const { return idle_bytes_; }
+  i64 live_bytes() const { return stats_.live_bytes; }
   const PoolStats& stats() const { return stats_; }
 
  private:
+  /// Folds the current footprint into the high-water gauge.
+  void note_footprint();
+
   std::map<i64, std::vector<void*>> free_;  ///< size in bytes -> free list
   i64 idle_bytes_ = 0;
   i64 max_idle_bytes_;
+  i64 footprint_budget_bytes_ = 0;
   PoolStats stats_;
 };
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include <memory>
@@ -121,6 +122,126 @@ TEST(Memory, ModelTracksGridChanges) {
   EXPECT_GT(static_cast<double>(first) / static_cast<double>(last), 8.0);
   const auto [mn, mx] = std::minmax_element(ratios.begin(), ratios.end());
   EXPECT_GT(*mx / *mn, 1.4);  // uneven decay = grid shape transitions
+}
+
+TEST(Memory, PoolGaugesTrackAcquireAndGiveBack) {
+  simmpi::BufferPool pool;
+  EXPECT_EQ(pool.stats().live_bytes, 0);
+  EXPECT_EQ(pool.stats().idle_bytes, 0);
+  EXPECT_EQ(pool.stats().high_water_bytes, 0);
+
+  void* a = pool.acquire(1024);
+  void* b = pool.acquire(4096);
+  EXPECT_EQ(pool.stats().live_bytes, 5120);
+  EXPECT_EQ(pool.stats().idle_bytes, 0);
+  EXPECT_EQ(pool.stats().high_water_bytes, 5120);
+
+  pool.give_back(a, 1024);
+  EXPECT_EQ(pool.stats().live_bytes, 4096);
+  EXPECT_EQ(pool.stats().idle_bytes, 1024);
+  EXPECT_EQ(pool.stats().idle_bytes, pool.idle_bytes());
+  // Returning a buffer parks it; total footprint unchanged.
+  EXPECT_EQ(pool.stats().high_water_bytes, 5120);
+
+  // Re-acquiring the parked size moves the bytes idle -> live.
+  void* a2 = pool.acquire(1024);
+  EXPECT_EQ(pool.stats().live_bytes, 5120);
+  EXPECT_EQ(pool.stats().idle_bytes, 0);
+  EXPECT_EQ(pool.stats().hits, 1);
+
+  pool.give_back(a2, 1024);
+  pool.give_back(b, 4096);
+  EXPECT_EQ(pool.stats().live_bytes, 0);
+  EXPECT_EQ(pool.stats().idle_bytes, 5120);
+  EXPECT_EQ(pool.stats().high_water_bytes, 5120);  // never exceeded
+}
+
+TEST(Memory, PoolHighWaterIsMonotonic) {
+  simmpi::BufferPool pool;
+  i64 prev = 0;
+  for (int i = 1; i <= 8; ++i) {
+    void* p = pool.acquire(i * 256);
+    EXPECT_GE(pool.stats().high_water_bytes, prev);
+    prev = pool.stats().high_water_bytes;
+    pool.give_back(p, i * 256);
+    EXPECT_GE(pool.stats().high_water_bytes, prev);
+    prev = pool.stats().high_water_bytes;
+  }
+  // One buffer live at a time, all sizes distinct and parked: footprint grew
+  // to sum(parked) + largest live.
+  EXPECT_EQ(pool.stats().live_bytes, 0);
+  EXPECT_EQ(pool.stats().idle_bytes, 256 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+}
+
+TEST(Memory, PoolTrimToTargetFreesLargestFirst) {
+  simmpi::BufferPool pool;
+  void* a = pool.acquire(1024);
+  void* b = pool.acquire(2048);
+  void* c = pool.acquire(8192);
+  pool.give_back(a, 1024);
+  pool.give_back(b, 2048);
+  pool.give_back(c, 8192);
+  ASSERT_EQ(pool.idle_bytes(), 11264);
+
+  // Target 4096: only the 8192 buffer must go (largest-first), leaving the
+  // two small ones — 3072 idle, 8192 freed.
+  const i64 freed = pool.trim(4096);
+  EXPECT_EQ(freed, 8192);
+  EXPECT_EQ(pool.idle_bytes(), 3072);
+  EXPECT_EQ(pool.stats().idle_bytes, 3072);
+
+  // The survivors are still reusable.
+  void* b2 = pool.acquire(2048);
+  EXPECT_EQ(pool.stats().hits, 1);
+  pool.give_back(b2, 2048);
+
+  // Default trim drains everything; live buffers would be untouched (none
+  // here), and the high-water gauge keeps its historical value.
+  const i64 freed_all = pool.trim();
+  EXPECT_EQ(freed_all, 3072);
+  EXPECT_EQ(pool.idle_bytes(), 0);
+  EXPECT_EQ(pool.stats().high_water_bytes, 11264);
+}
+
+TEST(Memory, PoolTrimLeavesLiveBuffersAlone) {
+  simmpi::BufferPool pool;
+  void* live = pool.acquire(4096);
+  void* idle = pool.acquire(1024);
+  pool.give_back(idle, 1024);
+  EXPECT_EQ(pool.trim(0), 1024);
+  EXPECT_EQ(pool.stats().live_bytes, 4096);
+  // The live buffer is still valid and returnable after the trim.
+  std::memset(live, 0xab, 4096);
+  pool.give_back(live, 4096);
+  EXPECT_EQ(pool.stats().live_bytes, 0);
+  EXPECT_EQ(pool.stats().idle_bytes, 4096);
+  pool.trim();
+}
+
+TEST(Memory, PoolFootprintBudgetEvictsIdleBeforeAllocating) {
+  simmpi::BufferPool pool;
+  pool.set_footprint_budget(8192);
+  void* a = pool.acquire(4096);
+  pool.give_back(a, 4096);
+  // Fits alongside the parked 4096: no eviction on this miss.
+  void* b = pool.acquire(2048);
+  pool.give_back(b, 2048);
+  EXPECT_EQ(pool.stats().idle_bytes, 6144);
+  EXPECT_EQ(pool.stats().trims, 0);
+  // 8192 cannot fit next to 6144 idle under the budget: both idle
+  // allocations are evicted (largest first) before the heap is touched.
+  void* c = pool.acquire(8192);
+  EXPECT_EQ(pool.stats().trims, 2);
+  EXPECT_EQ(pool.stats().idle_bytes, 0);
+  EXPECT_EQ(pool.stats().live_bytes, 8192);
+  // The footprint high-water never exceeded the budget.
+  EXPECT_LE(pool.stats().high_water_bytes, 8192);
+  pool.give_back(c, 8192);
+  // Live allocations are never denied: a request above the budget still
+  // succeeds (the bound is max(budget, live peak), not a hard failure).
+  void* big = pool.acquire(16384);
+  EXPECT_EQ(pool.stats().idle_bytes, 0);
+  pool.give_back(big, 16384);
 }
 
 TEST(Memory, FaultAbortLeavesNoLeakedOrStaleBuffers) {
