@@ -8,7 +8,10 @@
 //   * CTF is far below both;
 //   * custom (1-D column) layouts collapse efficiency for the
 //     tall-and-skinny classes (large-K, large-M) due to conversion cost.
+#include <chrono>
+
 #include "bench_common.hpp"
+#include "costmodel/drift.hpp"
 
 namespace ca3dmm::bench {
 namespace {
@@ -17,6 +20,62 @@ using costmodel::Algo;
 using costmodel::Prediction;
 using costmodel::Workload;
 using simmpi::Machine;
+
+/// Set when the real-execution drift gate fails; main() turns it into a
+/// nonzero exit.
+bool g_drift_failed = false;
+
+/// Real execution at the figure's two largest process counts, on the fiber
+/// backend — the whole point of fibers is that P=3072 ranks fit in one
+/// address space on one box, so the strong-scaling figure's upper end can be
+/// *executed*, not just predicted. Shapes are miniature (960^3, evenly
+/// divisible by the paper's P=1536/3072 grids) so every rank is symmetric
+/// and the executed virtual times must match the model to rounding; drift
+/// beyond the 1e-6 gate fails the binary, same regime as
+/// bench_fig5_breakdown's P=16 gate but at 200x the rank count.
+///
+/// ranks_per_node is 16 here (not Phoenix's 24) so node boundaries align
+/// with the 256-rank Cannon groups. A group that straddles a node boundary
+/// makes ranks asymmetric — early arrivers charge their barrier wait to
+/// misc — which breaks only the per-phase *attribution* (totals stay
+/// exact), but this gate pins every phase.
+void print_real_execution() {
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 16;
+  mach.cores_per_node = 16;
+  struct RealCase {
+    int P;
+    ProcGrid grid;
+  };
+  const RealCase reals[] = {
+      {1536, ProcGrid{16, 16, 6}},
+      {3072, ProcGrid{16, 16, 12}},
+  };
+  std::printf(
+      "\n=== real execution on fibers: executed vs predicted, "
+      "m=n=k=960 ===\n");
+  for (const RealCase& rc : reals) {
+    Workload w{960, 960, 960};
+    w.force_grid = rc.grid;
+    simmpi::Cluster cl(rc.P, mach);
+    cl.set_backend(simmpi::Cluster::Backend::kFibers);
+    const auto t0 = std::chrono::steady_clock::now();
+    const costmodel::DriftReport rep =
+        costmodel::check_drift(Algo::kCa3dmm, w, cl);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("\n-- P=%d  grid %s  (host wall %.2f s) --\n%s", rc.P,
+                grid_str(rc.grid).c_str(), wall, rep.table().c_str());
+    if (!rep.ok()) {
+      g_drift_failed = true;
+      std::printf("^^ DRIFT GATE FAILED at P=%d\n", rc.P);
+    }
+  }
+  std::printf("\nreal-execution drift gate: %s (rtol %.1e)\n",
+              g_drift_failed ? "FAIL" : "ok",
+              costmodel::DriftOptions{}.rtol);
+}
 
 void print_tables() {
   const Machine mach = Machine::phoenix_mpi();
@@ -60,6 +119,7 @@ void print_tables() {
     csv.write_csv(custom ? "fig3_custom_layout.csv" : "fig3_native_layout.csv");
   }
   std::printf("wrote fig3_native_layout.csv and fig3_custom_layout.csv\n");
+  print_real_execution();
 }
 
 void register_benchmarks() {
@@ -82,6 +142,8 @@ void register_benchmarks() {
 
 int main(int argc, char** argv) {
   ca3dmm::bench::register_benchmarks();
-  return ca3dmm::bench::run_bench_main(argc, argv,
-                                       ca3dmm::bench::print_tables);
+  const int rc = ca3dmm::bench::run_bench_main(argc, argv,
+                                               ca3dmm::bench::print_tables);
+  if (rc != 0) return rc;
+  return ca3dmm::bench::g_drift_failed ? 3 : 0;
 }

@@ -1,0 +1,177 @@
+// simmpi scheduler-backend throughput: the same collective-heavy workload
+// executed once per backend (threads, fibers), measuring how fast the host
+// can push *simulated* communication through the runtime.
+//
+// The workload is deliberately scheduling-bound: 32 ranks, tiny messages,
+// thousands of collectives — per-op host cost is rendezvous wake-ups, not
+// memcpy. The thread backend pays one kernel context switch per blocked
+// rank per op; the fiber backend swaps ucontexts in user space and wakes
+// exactly the keyed waiters, which is where the headline speedup comes
+// from (docs/SIMMPI.md).
+//
+// Reported per backend, and written to BENCH_simmpi.json for CI:
+//   * simulated collectives per wall-clock second (throughput)
+//   * wall-clock seconds per simulated second (slowdown factor)
+//
+// Gates (nonzero exit on violation):
+//   * fibers must execute >= 3x the thread backend's collectives/sec;
+//   * both backends must produce bit-identical payload results and
+//     per-rank virtual times (the determinism contract, spot-checked here
+//     and pinned exhaustively by tests/test_fibers.cpp).
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "simmpi/comm.hpp"
+
+namespace ca3dmm::bench {
+namespace {
+
+using simmpi::Cluster;
+using simmpi::Machine;
+
+bool g_gate_failed = false;
+
+constexpr int kRanks = 32;
+constexpr int kRounds = 800;
+/// Collectives per round: one allreduce + one allgather + one barrier.
+constexpr int kCollPerRound = 3;
+
+struct BackendResult {
+  const char* name = "";
+  double wall_s = 0;          ///< host seconds for the whole run()
+  double sim_s = 0;           ///< max final virtual clock
+  i64 collectives = 0;        ///< simulated collectives executed (all ranks)
+  std::vector<double> payload;  ///< per-rank result value (bit-compared)
+  std::vector<double> vtimes;   ///< per-rank final clocks (bit-compared)
+
+  double coll_per_wall_s() const {
+    return wall_s > 0 ? static_cast<double>(collectives) / wall_s : 0;
+  }
+  double wall_per_sim_s() const { return sim_s > 0 ? wall_s / sim_s : 0; }
+};
+
+/// Collective-heavy rank body; also shifts one double around the ring every
+/// round so the p2p path (including the zero-copy posted-receive fast path)
+/// is part of the measured mix.
+BackendResult run_backend(Cluster::Backend backend, const char* name) {
+  Machine mach = Machine::phoenix_mpi();
+  mach.ranks_per_node = 8;
+  Cluster cl(kRanks, mach);
+  cl.set_backend(backend);
+
+  std::vector<double> payload(kRanks, 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run([&payload](simmpi::Comm& c) {
+    const int P = c.size();
+    const int rank = c.rank();
+    double acc = 0;
+    double in[8], out[8];
+    std::vector<double> gathered(static_cast<size_t>(P));
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < 8; ++i) in[i] = rank * 1e-3 + round + i;
+      c.allreduce(in, out, 8);
+      acc += out[0] + out[7];
+      double s = acc + rank;
+      double r = 0;
+      c.sendrecv(&s, 1, (rank + 1) % P, &r, 1, (rank + P - 1) % P,
+                 /*tag=*/round & 0xFF);
+      acc = std::fma(1e-9, r, acc);
+      c.allgather(&acc, 1, gathered.data());
+      acc += gathered[static_cast<size_t>((rank + round) % P)] * 1e-6;
+      c.barrier();
+    }
+    payload[static_cast<size_t>(rank)] = acc;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BackendResult res;
+  res.name = name;
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  res.collectives = static_cast<i64>(kRanks) * kRounds * kCollPerRound;
+  res.payload = std::move(payload);
+  for (int r = 0; r < kRanks; ++r) {
+    res.vtimes.push_back(cl.stats(r).vtime);
+    res.sim_s = std::max(res.sim_s, cl.stats(r).vtime);
+  }
+  return res;
+}
+
+void write_json(const BackendResult& th, const BackendResult& fi,
+                double speedup, bool identical) {
+  std::FILE* f = std::fopen("BENCH_simmpi.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_simmpi.json\n");
+    g_gate_failed = true;
+    return;
+  }
+  std::fprintf(f, "{\n  \"ranks\": %d,\n  \"rounds\": %d,\n", kRanks, kRounds);
+  const auto one = [f](const char* key, const BackendResult& r) {
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"wall_s\": %.6f,\n"
+                 "    \"sim_s\": %.6f,\n"
+                 "    \"collectives\": %lld,\n"
+                 "    \"coll_per_wall_s\": %.1f,\n"
+                 "    \"wall_per_sim_s\": %.4f\n"
+                 "  },\n",
+                 key, r.wall_s, r.sim_s, static_cast<long long>(r.collectives),
+                 r.coll_per_wall_s(), r.wall_per_sim_s());
+  };
+  one("threads", th);
+  one("fibers", fi);
+  std::fprintf(f,
+               "  \"fiber_speedup\": %.2f,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"gate_min_speedup\": 3.0,\n"
+               "  \"gate_ok\": %s\n}\n",
+               speedup, identical ? "true" : "false",
+               g_gate_failed ? "false" : "true");
+  std::fclose(f);
+  std::printf("wrote BENCH_simmpi.json\n");
+}
+
+void print_tables() {
+  std::printf(
+      "\n=== simmpi backend throughput: %d ranks, %d rounds x %d "
+      "collectives ===\n",
+      kRanks, kRounds, kCollPerRound);
+  const BackendResult th = run_backend(Cluster::Backend::kThreads, "threads");
+  const BackendResult fi = run_backend(Cluster::Backend::kFibers, "fibers");
+
+  TextTable t({"backend", "wall s", "sim s", "collectives", "coll/s (wall)",
+               "wall s / sim s"});
+  for (const BackendResult* r : {&th, &fi})
+    t.add_row({r->name, strprintf("%.3f", r->wall_s),
+               strprintf("%.4f", r->sim_s),
+               strprintf("%lld", static_cast<long long>(r->collectives)),
+               strprintf("%.0f", r->coll_per_wall_s()),
+               strprintf("%.4f", r->wall_per_sim_s())});
+  t.print();
+
+  const bool identical = th.payload == fi.payload && th.vtimes == fi.vtimes;
+  const double speedup =
+      th.coll_per_wall_s() > 0 ? fi.coll_per_wall_s() / th.coll_per_wall_s()
+                               : 0;
+  std::printf("\nfiber speedup: %.2fx (gate: >= 3x)   backends %s\n", speedup,
+              identical ? "bit-identical" : "DIVERGED");
+  if (!identical) {
+    std::printf("^^ BACKEND DIVERGENCE: payloads or vtimes differ\n");
+    g_gate_failed = true;
+  }
+  if (speedup < 3.0) {
+    std::printf("^^ THROUGHPUT GATE FAILED: %.2fx < 3x\n", speedup);
+    g_gate_failed = true;
+  }
+  write_json(th, fi, speedup, identical);
+}
+
+}  // namespace
+}  // namespace ca3dmm::bench
+
+int main(int argc, char** argv) {
+  const int rc = ca3dmm::bench::run_bench_main(argc, argv,
+                                               ca3dmm::bench::print_tables);
+  if (rc != 0) return rc;
+  return ca3dmm::bench::g_gate_failed ? 3 : 0;
+}

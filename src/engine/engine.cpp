@@ -53,6 +53,9 @@ PgemmEngine::PgemmEngine(Comm& world, EngineConfig cfg)
       pool_(cfg.pool_max_idle_bytes) {
   pool_.set_footprint_budget(cfg.pool_footprint_budget_bytes);
   CA_REQUIRE(world_.valid(), "PgemmEngine needs a valid communicator");
+  // Bind the engine mutex to the cluster so fiber callers park through the
+  // scheduler instead of blocking their worker thread (see CoopMutex).
+  mu_.bind(world_.cluster());
   CA_REQUIRE(cfg_.plan_cache_capacity >= 1,
              "plan_cache_capacity must be >= 1, got %zu",
              cfg_.plan_cache_capacity);
@@ -94,36 +97,36 @@ PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
 
 const Ca3dmmPlan& PgemmEngine::plan_for(i64 m, i64 n, i64 k,
                                         const Ca3dmmOptions& opt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   simmpi::RankCtxScope adopt(owner_ctx_);
   return lookup(PlanKey{m, n, k, world_.size(), opt}).plan;
 }
 
 bool PgemmEngine::is_cached(i64 m, i64 n, i64 k,
                             const Ca3dmmOptions& opt) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   return index_.count(PlanKey{m, n, k, world_.size(), opt}) != 0;
 }
 
 i64 PgemmEngine::trim_pool(i64 target_idle_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   return pool_.trim(target_idle_bytes);
 }
 
 EngineStats PgemmEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   EngineStats s = stats_;
   s.pool = pool_.stats();
   return s;
 }
 
 size_t PgemmEngine::cached_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   return lru_.size();
 }
 
 void PgemmEngine::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   lru_.clear();
   index_.clear();
   pool_.trim();
@@ -170,14 +173,14 @@ void PgemmEngine::execute(Entry& entry, const Request<T>& req) {
 
 template <typename T>
 void PgemmEngine::multiply(const Request<T>& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   simmpi::RankCtxScope adopt(owner_ctx_);
   execute(lookup(key_of(req)), req);
 }
 
 template <typename T>
 void PgemmEngine::submit(const std::vector<Request<T>>& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
   simmpi::RankCtxScope adopt(owner_ctx_);
   ++stats_.batches;
   // Group same-plan requests, preserving the order groups first appear in;

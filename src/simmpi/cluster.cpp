@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <thread>
 
 #include "simmpi/detail_state.hpp"
+#include "simmpi/fiber.hpp"
 
 namespace ca3dmm::simmpi {
 
@@ -14,6 +17,16 @@ thread_local RankCtx* g_ctx = nullptr;
 }
 
 RankCtx* current_ctx() { return g_ctx; }
+
+namespace detail {
+
+RankCtx* swap_rank_tls(RankCtx* next) {
+  RankCtx* prev = g_ctx;
+  g_ctx = next;
+  return prev;
+}
+
+}  // namespace detail
 
 RankCtxScope::RankCtxScope(RankCtx* ctx) : saved_(g_ctx) { g_ctx = ctx; }
 
@@ -31,12 +44,48 @@ const char* phase_name(Phase p) {
   }
 }
 
+Cluster::Backend Cluster::default_backend() {
+  const char* s = std::getenv("CA3DMM_SIMMPI_BACKEND");
+  if (s != nullptr && std::strcmp(s, "fibers") == 0) return Backend::kFibers;
+  return Backend::kThreads;
+}
+
 Cluster::Cluster(int nranks, Machine machine)
-    : nranks_(nranks), machine_(machine), ctx_(static_cast<size_t>(nranks)) {
+    : nranks_(nranks),
+      machine_(machine),
+      ctx_(static_cast<size_t>(nranks)),
+      backend_(default_backend()) {
   CA_REQUIRE(nranks >= 1, "Cluster needs at least one rank, got %d", nranks);
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::fiber_park_locked(std::unique_lock<std::mutex>& lk,
+                                const detail::WaitKey& key) {
+  detail::Fiber* f = detail::current_fiber();
+  CA_ASSERT(f != nullptr && fiber_sched_ != nullptr);
+  fiber_waiters_[key].push_back(f);
+  // park_current drops mu_ before switching out and re-takes it on resume;
+  // the resume only happens after a waker removed us from fiber_waiters_.
+  fiber_sched_->park_current(lk);
+}
+
+void Cluster::wake_key_locked(const detail::WaitKey& key) {
+  if (fiber_sched_ == nullptr) return;
+  auto it = fiber_waiters_.find(key);
+  if (it == fiber_waiters_.end()) return;
+  std::vector<detail::Fiber*> list = std::move(it->second);
+  fiber_waiters_.erase(it);
+  for (detail::Fiber* f : list) fiber_sched_->wake(f);
+}
+
+void Cluster::wake_all_fibers_locked() {
+  if (fiber_sched_ == nullptr) return;
+  std::map<detail::WaitKey, std::vector<detail::Fiber*>> all;
+  all.swap(fiber_waiters_);
+  for (auto& [key, list] : all)
+    for (detail::Fiber* f : list) fiber_sched_->wake(f);
+}
 
 void Cluster::request_abort_locked(int world_rank, const std::string& what) {
   if (world_rank >= 0 && !rank_failed_[static_cast<size_t>(world_rank)]) {
@@ -46,7 +95,38 @@ void Cluster::request_abort_locked(int world_rank, const std::string& what) {
   abort_requested_ = true;
   progress_gen_++;
   cv_.notify_all();
+  // Every parked fiber must re-check its predicate, see the abort, and
+  // unwind — keyed wake-ups alone would leave unrelated waits parked
+  // forever.
+  wake_all_fibers_locked();
   watchdog_cv_.notify_all();
+}
+
+void CoopMutex::lock() {
+  if (!locked_.exchange(true, std::memory_order_acquire)) return;
+  if (detail::current_fiber() != nullptr && cluster_ != nullptr) {
+    std::unique_lock<std::mutex> lk(cluster_->mu_);
+    while (locked_.exchange(true, std::memory_order_acquire))
+      cluster_->fiber_park_locked(lk, detail::WaitKey::mutex(this));
+  } else {
+    std::unique_lock<std::mutex> lk(gate_);
+    gate_cv_.wait(lk, [&] {
+      return !locked_.exchange(true, std::memory_order_acquire);
+    });
+  }
+}
+
+void CoopMutex::unlock() {
+  locked_.store(false, std::memory_order_release);
+  if (cluster_ != nullptr) {
+    std::lock_guard<std::mutex> lk(cluster_->mu_);
+    cluster_->wake_key_locked(detail::WaitKey::mutex(this));
+  }
+  // Acquire gate_ before notifying: a plain-thread waiter that saw
+  // locked_==true is either already waiting or still holds gate_ (blocking
+  // us here until it waits), so the notify cannot fall in its gap.
+  { std::lock_guard<std::mutex> lk(gate_); }
+  gate_cv_.notify_all();
 }
 
 void Cluster::fault_point(RankCtx* ctx) {
@@ -135,12 +215,23 @@ void Cluster::watchdog_main() {
     const bool all_blocked = finished_count_ < nranks_ &&
                              blocked_count_ == nranks_ - finished_count_;
     bool all_checked_current = all_blocked;
-    if (all_blocked)
-      for (int r = 0; r < nranks_ && all_checked_current; ++r) {
-        const RankCtx& c = ctx_[static_cast<size_t>(r)];
-        if (!c.finished && c.checked_gen != progress_gen_)
-          all_checked_current = false;
+    if (all_blocked) {
+      if (fiber_sched_ != nullptr) {
+        // Fiber backend: keyed wake-ups mean a parked fiber never
+        // re-examines generations it did not wait on, so checked_gen
+        // freshness is unavailable. Instead: with no fiber runnable or
+        // running, every live rank parked, and no rendezvous event for a
+        // full interval, nothing can ever wake anyone — wakes only come
+        // from rank progress (there is none) or an abort.
+        all_checked_current = fiber_sched_->idle();
+      } else {
+        for (int r = 0; r < nranks_ && all_checked_current; ++r) {
+          const RankCtx& c = ctx_[static_cast<size_t>(r)];
+          if (!c.finished && c.checked_gen != progress_gen_)
+            all_checked_current = false;
+        }
       }
+    }
     if (all_blocked && all_checked_current && prev_all_blocked &&
         progress_gen_ == prev_gen) {
       watchdog_report_ = strprintf(
@@ -183,58 +274,25 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
   std::iota(members.begin(), members.end(), 0);
   auto world = detail::CommState::create(this, std::move(members));
 
-  auto thread_main = [&](int r) {
-    g_ctx = &ctx_[r];
-    try {
-      Comm c(world, r);
-      rank_main(c);
-    } catch (const detail::ClusterAborted&) {
-      // Unwound cooperatively after a peer failure — not this rank's fault.
-    } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lk(mu_);
-      request_abort_locked(r, e.what());
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      request_abort_locked(r, "unknown exception");
-    }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ctx_[r].finished = true;
-      finished_count_++;
-      progress_gen_++;
-      // A blocked peer must re-evaluate its predicate against this bump, or
-      // its checked_gen stays stale and the watchdog (which requires every
-      // blocked rank to have examined the latest generation) can never
-      // declare the deadlock.
-      cv_.notify_all();
-    }
-    g_ctx = nullptr;
-  };
-
-  std::thread watchdog;
-  if (watchdog_enabled_) watchdog = std::thread([this] { watchdog_main(); });
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) threads.emplace_back(thread_main, r);
-  for (auto& t : threads) t.join();
-
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    run_active_ = false;
-    watchdog_cv_.notify_all();
-  }
-  if (watchdog.joinable()) watchdog.join();
+  if (backend_ == Backend::kFibers)
+    run_fibers(rank_main, world);
+  else
+    run_threads(rank_main, world);
 
   // Drain undelivered messages. An aborted (or simply unbalanced) run can
   // leave eager sends in the channels; the receiver that would have deleted
   // them never came. Rendezvous records point into (already unwound) sender
   // stack frames and are erased by the sender's cleanup, so only eager
-  // records are owned here.
+  // records are owned here. Posted recvs and wait lists likewise point into
+  // dead stacks; every rank unregistered its own on the way out, so these
+  // are empty — cleared anyway so a future bug cannot leak into the next
+  // run.
   for (auto& [key, q] : channels_)
     for (detail::SendRec* rec : q)
       if (rec->eager) delete rec;
   channels_.clear();
+  posted_recvs_.clear();
+  fiber_waiters_.clear();
 
   // Finalize stats for every rank before reporting failures: a failed run
   // still leaves per-rank virtual times readable for diagnostics.
@@ -257,6 +315,106 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
                      rank_errors_[static_cast<size_t>(r)].c_str());
   }
   throw Error(msg);
+}
+
+void Cluster::rank_body(int rank, const std::function<void(Comm&)>& rank_main,
+                        const std::shared_ptr<detail::CommState>& world) {
+  try {
+    Comm c(world, rank);
+    rank_main(c);
+  } catch (const detail::ClusterAborted&) {
+    // Unwound cooperatively after a peer failure — not this rank's fault.
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    request_abort_locked(rank, e.what());
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    request_abort_locked(rank, "unknown exception");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ctx_[static_cast<size_t>(rank)].finished = true;
+    finished_count_++;
+    progress_gen_++;
+    // A blocked peer must re-evaluate its predicate against this bump, or
+    // its checked_gen stays stale and the watchdog (which requires every
+    // blocked rank to have examined the latest generation) can never
+    // declare the deadlock. (Fibers are not woken here: no fiber wait
+    // predicate depends on a peer finishing, and the fiber watchdog uses
+    // scheduler idleness instead of checked_gen freshness.)
+    cv_.notify_all();
+  }
+}
+
+void Cluster::run_threads(const std::function<void(Comm&)>& rank_main,
+                          const std::shared_ptr<detail::CommState>& world) {
+  std::thread watchdog;
+  if (watchdog_enabled_) watchdog = std::thread([this] { watchdog_main(); });
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r)
+    threads.emplace_back([this, r, &rank_main, &world] {
+      g_ctx = &ctx_[static_cast<size_t>(r)];
+      rank_body(r, rank_main, world);
+      g_ctx = nullptr;
+    });
+  for (auto& t : threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run_active_ = false;
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog.joinable()) watchdog.join();
+}
+
+void Cluster::run_fibers(const std::function<void(Comm&)>& rank_main,
+                         const std::shared_ptr<detail::CommState>& world) {
+  std::size_t stack = fiber_stack_bytes_;
+  if (stack == 0) {
+    if (const char* s = std::getenv("CA3DMM_SIMMPI_STACK_KB")) {
+      const long long kb = std::atoll(s);
+      if (kb > 0) stack = static_cast<std::size_t>(kb) * 1024;
+    }
+  }
+  if (stack == 0) stack = std::size_t{1} << 20;
+
+  detail::FiberScheduler sched(nranks_, fiber_workers_, stack);
+  for (int r = 0; r < nranks_; ++r)
+    sched.spawn(r, [this, r, &rank_main, &world] {
+      // The body runs on the fiber's stack; the scheduler saves/restores
+      // this TLS around every switch (swap_rank_tls), so setting it here
+      // behaves exactly like the per-thread install of the thread backend.
+      g_ctx = &ctx_[static_cast<size_t>(r)];
+      rank_body(r, rank_main, world);
+      g_ctx = nullptr;
+    });
+
+  // Publish the scheduler before the watchdog starts so its first sample
+  // already uses the fiber criterion; cleared only after the watchdog is
+  // joined and can no longer observe it.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fiber_sched_ = &sched;
+  }
+  std::thread watchdog;
+  if (watchdog_enabled_) watchdog = std::thread([this] { watchdog_main(); });
+
+  sched.start();
+  sched.wait_all_finished();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run_active_ = false;
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog.joinable()) watchdog.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fiber_sched_ = nullptr;
+  }
+  sched.shutdown();
 }
 
 const RankStats& Cluster::stats(int rank) const {

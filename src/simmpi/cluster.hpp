@@ -11,6 +11,7 @@
 // the benchmark harness reads to reproduce the paper's tables and figures.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,6 +77,13 @@ struct RankStats {
   /// the engine's communicator cache amortizes, so the engine tests assert
   /// on this counter directly.
   i64 comm_splits = 0;
+  /// P2p messages delivered into this rank's *posted* receive buffer by the
+  /// rendezvous fast path (no eager staging copy). Purely observational: on
+  /// the thread backend the send/recv arrival order is host-scheduling
+  /// dependent, so this counter is NOT part of the determinism contract
+  /// (vtimes and payloads are identical either way). On the fiber backend
+  /// dispatch order is deterministic, so tests can pin it exactly.
+  i64 p2p_zero_copy = 0;
   /// Corruptions neutralized by ABFT decode on this rank: payload bytes
   /// corrected in place plus trailer hits absorbed. Fault-injection tests
   /// assert on this to prove an injected flip actually fired and was caught
@@ -188,11 +196,49 @@ inline void trace_marker(const char* name, double bytes = 0) {
 namespace detail {
 struct CommState;
 struct SendRec;
+struct RecvRec;
+struct Fiber;
+class FiberScheduler;
+/// The fiber the calling OS thread is running, or nullptr on plain threads.
+/// (Defined in fiber.cpp; re-declared here so cluster code can route waits
+/// without pulling in ucontext.)
+Fiber* current_fiber();
+
+/// Installs `next` as the calling thread's rank context and returns the
+/// previous one. The fiber scheduler uses this to save/restore each fiber's
+/// TLS view around context switches, so RankCtxScope keeps working when
+/// fibers share (and migrate between) worker threads.
+RankCtx* swap_rank_tls(RankCtx* next);
+
 /// Key identifying a point-to-point channel.
 struct ChannelKey {
   std::uint64_t comm_id;
   int src, dst, tag;
   auto operator<=>(const ChannelKey&) const = default;
+};
+
+/// What a parked fiber is waiting on. Wake-ups are keyed so completing one
+/// rendezvous never touches fibers parked on unrelated state (waking all of
+/// P=3072 parked fibers per event would be O(P^2) switches per collective).
+/// The packing may alias two distinct p2p channels with huge tags; a
+/// collision only causes a spurious wake (predicates are always re-checked),
+/// never a lost one.
+struct WaitKey {
+  std::uint64_t k0 = 0, k1 = 0;
+  auto operator<=>(const WaitKey&) const = default;
+
+  static WaitKey coll(std::uint64_t comm_id) {
+    return WaitKey{1u | (comm_id << 3), 0};
+  }
+  static WaitKey chan(const ChannelKey& c) {
+    return WaitKey{2u | (c.comm_id << 3),
+                   (static_cast<std::uint64_t>(c.src) << 40) |
+                       (static_cast<std::uint64_t>(c.dst) << 20) |
+                       (static_cast<std::uint64_t>(c.tag) & 0xFFFFFu)};
+  }
+  static WaitKey mutex(const void* m) {
+    return WaitKey{3u, reinterpret_cast<std::uintptr_t>(m)};
+  }
 };
 
 /// Thrown by blocking primitives when the cluster is unwinding after a peer
@@ -226,6 +272,32 @@ class Cluster {
 
   int nranks() const { return nranks_; }
   const Machine& machine() const { return machine_; }
+
+  /// Scheduler backend for run(): one std::thread per rank (the original
+  /// model; caps real runs at a few hundred ranks per box), or rank fibers
+  /// multiplexed over a small worker pool (thousands of ranks per box).
+  /// Results, vtimes, traces, and fault behavior are bit-identical across
+  /// backends — see docs/SIMMPI.md for the determinism contract.
+  enum class Backend { kThreads, kFibers };
+
+  /// Process-wide default, read once per Cluster at construction: the
+  /// CA3DMM_SIMMPI_BACKEND environment variable ("fibers" selects fibers,
+  /// anything else threads).
+  static Backend default_backend();
+
+  void set_backend(Backend b) { backend_ = b; }
+  Backend backend() const { return backend_; }
+
+  /// Usable stack per fiber (a guard page is added below). Default 1 MiB,
+  /// overridable with CA3DMM_SIMMPI_STACK_KB. Rank bodies that recurse
+  /// deeply or place large arrays on the stack need more; an overflow hits
+  /// the guard page and faults instead of corrupting a neighbour.
+  void set_fiber_stack_bytes(std::size_t bytes) { fiber_stack_bytes_ = bytes; }
+
+  /// Worker threads for the fiber backend; 0 (default) picks
+  /// min(hardware_concurrency, nranks). The pool can still grow at runtime
+  /// when workers get stuck in fibers that block in the OS.
+  void set_fiber_workers(int n) { fiber_workers_ = n; }
 
   /// Stats of one rank after run().
   const RankStats& stats(int rank) const;
@@ -301,7 +373,53 @@ class Cluster {
 
  private:
   friend class Comm;
+  friend class CoopMutex;
   friend struct detail::CommState;
+
+  // --- backend-split run loop ---
+  /// Per-rank body shared by both backends: installs the rank context,
+  /// runs rank_main under the abort/error wrappers, and does the finish
+  /// bookkeeping. TLS installation differs per backend, so the caller
+  /// passes a scope-managed context pointer.
+  void rank_body(int rank, const std::function<void(Comm&)>& rank_main,
+                 const std::shared_ptr<detail::CommState>& world);
+  void run_threads(const std::function<void(Comm&)>& rank_main,
+                   const std::shared_ptr<detail::CommState>& world);
+  void run_fibers(const std::function<void(Comm&)>& rank_main,
+                  const std::shared_ptr<detail::CommState>& world);
+
+  // --- fiber parking / keyed wake-ups (all under mu_) ---
+  /// Blocks the calling rank until `pred` holds. Plain threads wait on the
+  /// cluster condition variable; fibers park under `key` and are woken by
+  /// wake_key_locked / wake_all_fibers_locked. Predicates may have
+  /// side-effects (watchdog note_check) — they are re-evaluated on every
+  /// wake either way.
+  template <typename Pred>
+  void rank_wait(std::unique_lock<std::mutex>& lk, const detail::WaitKey& key,
+                 Pred&& pred) {
+    if (detail::current_fiber() == nullptr) {
+      cv_.wait(lk, std::forward<Pred>(pred));
+      return;
+    }
+    while (!pred()) fiber_park_locked(lk, key);
+  }
+  void fiber_park_locked(std::unique_lock<std::mutex>& lk,
+                         const detail::WaitKey& key);
+  void wake_key_locked(const detail::WaitKey& key);
+  void wake_all_fibers_locked();
+
+  // --- zero-copy p2p rendezvous (mu_ held) ---
+  /// Delivers `bytes` from `buf` straight into a posted matching recv, if
+  /// one exists and the channel is empty (FIFO: a queued eager message must
+  /// be consumed first). Computes the receiver's exit time, applies payload
+  /// flips, and wakes the receiver. When `sender_rec` is non-null (the
+  /// sendrecv path) its completion fields are filled in as if the receiver
+  /// had consumed it. Returns false when the sender must fall back to the
+  /// eager queue (no posted recv, occupied channel, or size mismatch — the
+  /// mismatch must queue so the *receiver* raises the size error).
+  bool try_deliver_posted_locked(const detail::ChannelKey& key,
+                                 const void* buf, i64 bytes, double t_entry,
+                                 detail::SendRec* sender_rec);
 
   // --- cooperative abort (all under mu_ unless noted) ---
   /// Records `what` as rank `world_rank`'s failure (first error per rank
@@ -360,6 +478,51 @@ class Cluster {
   std::string watchdog_report_;
   /// Per-(src,dst,tag) received-message counter for payload flips.
   std::map<std::tuple<int, int, int>, int> recv_match_count_;
+
+  // --- fiber backend state ---
+  Backend backend_;
+  std::size_t fiber_stack_bytes_ = 0;  ///< 0 = default (1 MiB or env)
+  int fiber_workers_ = 0;              ///< 0 = auto
+  /// Live scheduler while a fiber run() is in flight, else null. Read by
+  /// wakers and the watchdog under mu_ (set before the watchdog starts,
+  /// cleared after it is joined).
+  detail::FiberScheduler* fiber_sched_ = nullptr;
+  /// Parked fibers by wait key (guarded by mu_). A fiber appears in at most
+  /// one list; the waker erases it before calling FiberScheduler::wake.
+  std::map<detail::WaitKey, std::vector<detail::Fiber*>> fiber_waiters_;
+  /// Posted-receive table for the zero-copy rendezvous path (guarded by
+  /// mu_). At most one posted recv per channel: a receiver only posts when
+  /// the channel queue is empty, and un-posts before leaving its wait.
+  std::map<detail::ChannelKey, detail::RecvRec*> posted_recvs_;
+};
+
+/// Mutex usable from rank code under both backends. A fiber that blocks on
+/// a std::mutex wedges its whole worker thread — and worse, a fiber resumed
+/// on a *different* worker would unlock the mutex on a thread that did not
+/// lock it, which is undefined behavior. CoopMutex instead parks fibers
+/// through the cluster's scheduler and keeps plain threads (engine helper
+/// threads) on an internal condition variable. Ownership is a bare atomic,
+/// so lock/unlock may legally happen on different OS threads as a fiber
+/// migrates. Bind to a cluster once before first use from fiber context;
+/// unbound it still works for plain threads.
+class CoopMutex {
+ public:
+  CoopMutex() = default;
+  CoopMutex(const CoopMutex&) = delete;
+  CoopMutex& operator=(const CoopMutex&) = delete;
+
+  void bind(Cluster* cl) { cluster_ = cl; }
+  void lock();
+  void unlock();
+
+ private:
+  std::atomic<bool> locked_{false};
+  Cluster* cluster_ = nullptr;
+  // Plain-thread waiters. The unlocker acquires gate_ before notifying so a
+  // waiter that saw locked_==true cannot miss the wake between its check
+  // and its wait.
+  std::mutex gate_;
+  std::condition_variable gate_cv_;
 };
 
 /// RAII owning buffer whose size is reported to the rank's memory tracker.

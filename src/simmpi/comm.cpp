@@ -287,10 +287,11 @@ void run_collective(CommState& st, int me, CommState::Op op, CollIo io,
       st.generation++;
       st.bump_progress();
       st.cv().notify_all();
+      st.wake_coll();
     } else {
       BlockedScope bs(st.blocked_counter(), ctx, coll_op_name(op), st.id,
                       st.arrived, -1);
-      st.cv().wait(lk, [&] {
+      st.coll_wait(lk, [&] {
         st.note_check(ctx);
         return st.generation != gen || st.aborted();
       });
@@ -325,8 +326,9 @@ void run_collective(CommState& st, int me, CommState::Op op, CollIo io,
     if (--st.dm_remaining == 0) {
       st.bump_progress();
       st.cv().notify_all();
+      st.wake_coll();
     } else {
-      st.cv().wait(lk, [&] {
+      st.coll_wait(lk, [&] {
         st.note_check(ctx);
         return st.dm_remaining == 0;
       });
@@ -414,6 +416,8 @@ bool Comm::same_node(int other) const {
 }
 
 const Machine& Comm::machine() const { return state_->cluster->machine_; }
+
+Cluster* Comm::cluster() const { return state_ ? state_->cluster : nullptr; }
 
 const GroupProfile& Comm::profile() const { return state_->prof; }
 
@@ -883,6 +887,46 @@ Comm Comm::split(int color, int key) const {
 
 // ---------------- point-to-point ----------------
 
+bool Cluster::try_deliver_posted_locked(const detail::ChannelKey& key,
+                                        const void* buf, i64 bytes,
+                                        double t_entry,
+                                        detail::SendRec* sender_rec) {
+  auto it = posted_recvs_.find(key);
+  if (it == posted_recvs_.end()) return false;
+  // FIFO: a queued message (e.g. an earlier eager fallback on this channel)
+  // must be matched before this one may jump the queue.
+  auto ch = channels_.find(key);
+  if (ch != channels_.end() && !ch->second.empty()) return false;
+  detail::RecvRec* rec = it->second;
+  // Size mismatch: fall back to the eager queue so the *receiver* raises
+  // the posting error — attribution identical to the staged path.
+  if (rec->bytes != bytes) return false;
+  posted_recvs_.erase(it);
+  if (bytes > 0) std::memcpy(rec->buf, buf, static_cast<size_t>(bytes));
+  maybe_flip_payload_locked(key, rec->buf, bytes);
+  // The receiver's exit time, computed exactly as its staged path would:
+  // its own slowdown, max of the two entry clocks plus the p2p cost.
+  const bool same =
+      machine_.node_of_rank(key.src) == machine_.node_of_rank(key.dst);
+  const double t =
+      t_p2p(machine_, static_cast<double>(bytes), same) * rec->slowdown;
+  rec->t_exit = std::max(rec->t_entry, t_entry) + t;
+  rec->sender_entry = t_entry;
+  rec->filled = true;
+  // The receiver is parked on this channel (it only posts while blocked),
+  // so touching its stats under mu_ cannot race with its own writes.
+  ctx_[static_cast<size_t>(key.dst)].stats.p2p_zero_copy++;
+  if (sender_rec != nullptr) {
+    sender_rec->consumed = true;
+    sender_rec->t_exit = rec->t_exit;
+    sender_rec->t_consumer_entry = rec->t_entry;
+  }
+  progress_gen_++;
+  cv_.notify_all();
+  wake_key_locked(detail::WaitKey::chan(key));
+  return true;
+}
+
 void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
   CA_REQUIRE(bytes >= 0, "send of negative size %lld",
              static_cast<long long>(bytes));
@@ -893,22 +937,30 @@ void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
   cl->fault_point(ctx);
   const double entry = ctx->clock;
   const int dst_w = world_rank_of(dst);
-  auto rec = std::make_unique<SendRec>();
-  rec->bytes = bytes;
-  rec->t_entry = entry;
-  rec->eager = true;
-  if (bytes > 0) {
-    rec->owned = std::make_unique<char[]>(static_cast<size_t>(bytes));
-    std::memcpy(rec->owned.get(), buf, static_cast<size_t>(bytes));
-    rec->buf = rec->owned.get();
-  }
   const ChannelKey key{state_->id, world_rank(), dst_w, tag};
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
     cl->check_abort_locked();
-    cl->channels_[key].push_back(rec.release());  // receiver deletes
-    cl->progress_gen_++;
-    cl->cv_.notify_all();
+    // Zero-copy fast path: a matching recv is already posted, so deliver
+    // straight into its destination buffer — no eager staging copy. Falls
+    // back to the eager queue when nothing is posted, the channel has
+    // queued messages (FIFO), or sizes mismatch (the receiver must raise
+    // that error).
+    if (!cl->try_deliver_posted_locked(key, buf, bytes, entry, nullptr)) {
+      auto rec = std::make_unique<SendRec>();
+      rec->bytes = bytes;
+      rec->t_entry = entry;
+      rec->eager = true;
+      if (bytes > 0) {
+        rec->owned = std::make_unique<char[]>(static_cast<size_t>(bytes));
+        std::memcpy(rec->owned.get(), buf, static_cast<size_t>(bytes));
+        rec->buf = rec->owned.get();
+      }
+      cl->channels_[key].push_back(rec.release());  // receiver deletes
+      cl->progress_gen_++;
+      cl->cv_.notify_all();
+      cl->wake_key_locked(detail::WaitKey::chan(key));
+    }
   }
   const bool same =
       machine().node_of_rank(world_rank()) == machine().node_of_rank(dst_w);
@@ -952,44 +1004,78 @@ void Comm::recv_impl(void* buf, i64 bytes, int src, int tag) {
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
     SendRec* rec = nullptr;
+    // Posted-receive record for the zero-copy fast path: registered (on
+    // this stack frame) once the wait finds the channel empty, so a later
+    // sender can deliver straight into `buf` instead of staging an eager
+    // copy. Unregistered on every exit path of the wait.
+    detail::RecvRec posted;
+    posted.buf = buf;
+    posted.bytes = bytes;
+    posted.t_entry = entry;
+    posted.slowdown = ctx->slowdown;
+    bool registered = false;
     {
       BlockedScope bs(&cl->blocked_count_, ctx, "recv", state_->id, src, tag);
-      cl->cv_.wait(lk, [&] {
+      cl->rank_wait(lk, detail::WaitKey::chan(key), [&] {
         ctx->checked_gen = cl->progress_gen_;
+        // A delivered zero-copy recv completes even when an abort raced in:
+        // the payload is already in place and the exit time computed.
+        if (posted.filled) return true;
         if (cl->abort_requested_) return true;
         auto it = cl->channels_.find(key);
-        if (it == cl->channels_.end() || it->second.empty()) return false;
-        rec = it->second.front();
-        return true;
+        if (it != cl->channels_.end() && !it->second.empty()) {
+          rec = it->second.front();
+          return true;
+        }
+        if (!registered) {
+          cl->posted_recvs_[key] = &posted;
+          registered = true;
+        }
+        return false;
       });
     }
-    if (rec == nullptr) throw detail::ClusterAborted{};
-    // A size mismatch is a user-facing posting error: leave the record in
-    // the channel (the sender's cleanup owns it) and let the Error flow
-    // through the cooperative-abort path.
-    CA_REQUIRE(rec->bytes == bytes,
-               "recv size mismatch on comm %llu (world %d -> %d, tag %d): "
-               "receiver posted %lld bytes, sender sent %lld",
-               static_cast<unsigned long long>(state_->id), key.src, key.dst,
-               tag, static_cast<long long>(bytes),
-               static_cast<long long>(rec->bytes));
-    cl->channels_[key].pop_front();
-    if (bytes > 0) std::memmove(buf, rec->buf, static_cast<size_t>(bytes));
-    cl->maybe_flip_payload_locked(key, buf, bytes);
-    const bool same =
-        machine().node_of_rank(key.src) == machine().node_of_rank(key.dst);
-    const double t =
-        t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
-    exit = std::max(entry, rec->t_entry) + t;
-    sender_entry = rec->t_entry;
-    if (rec->eager) {
-      delete rec;
+    if (registered && !posted.filled) {
+      auto it = cl->posted_recvs_.find(key);
+      if (it != cl->posted_recvs_.end() && it->second == &posted)
+        cl->posted_recvs_.erase(it);
+    }
+    if (posted.filled) {
+      // The sender already copied the payload, applied any fault-plan flip,
+      // and computed this receiver's exit time with its slowdown — the
+      // clock arithmetic below is shared with the staged path.
+      exit = posted.t_exit;
+      sender_entry = posted.sender_entry;
+    } else if (rec == nullptr) {
+      throw detail::ClusterAborted{};
     } else {
-      rec->t_exit = exit;
-      rec->t_consumer_entry = entry;
-      rec->consumed = true;
-      cl->progress_gen_++;
-      cl->cv_.notify_all();
+      // A size mismatch is a user-facing posting error: leave the record in
+      // the channel (the sender's cleanup owns it) and let the Error flow
+      // through the cooperative-abort path.
+      CA_REQUIRE(rec->bytes == bytes,
+                 "recv size mismatch on comm %llu (world %d -> %d, tag %d): "
+                 "receiver posted %lld bytes, sender sent %lld",
+                 static_cast<unsigned long long>(state_->id), key.src, key.dst,
+                 tag, static_cast<long long>(bytes),
+                 static_cast<long long>(rec->bytes));
+      cl->channels_[key].pop_front();
+      if (bytes > 0) std::memmove(buf, rec->buf, static_cast<size_t>(bytes));
+      cl->maybe_flip_payload_locked(key, buf, bytes);
+      const bool same =
+          machine().node_of_rank(key.src) == machine().node_of_rank(key.dst);
+      const double t =
+          t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
+      exit = std::max(entry, rec->t_entry) + t;
+      sender_entry = rec->t_entry;
+      if (rec->eager) {
+        delete rec;
+      } else {
+        rec->t_exit = exit;
+        rec->t_consumer_entry = entry;
+        rec->consumed = true;
+        cl->progress_gen_++;
+        cl->cv_.notify_all();
+        cl->wake_key_locked(detail::WaitKey::chan(key));
+      }
     }
   }
   ctx->last_op_cost = exit - entry;
@@ -1032,9 +1118,15 @@ void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
   {
     std::unique_lock<std::mutex> lk(cl->mu_);
     cl->check_abort_locked();
-    cl->channels_[skey].push_back(&rec);
-    cl->progress_gen_++;
-    cl->cv_.notify_all();
+    // Zero-copy fast path: the peer's recv is already posted, so deliver in
+    // place — rec's completion fields are filled as if the peer consumed
+    // the queued record, and the wait below returns immediately.
+    if (!cl->try_deliver_posted_locked(skey, sbuf, sbytes, entry, &rec)) {
+      cl->channels_[skey].push_back(&rec);
+      cl->progress_gen_++;
+      cl->cv_.notify_all();
+      cl->wake_key_locked(detail::WaitKey::chan(skey));
+    }
   }
   try {
     recv_impl(rbuf, rbytes, src, tag);
@@ -1042,7 +1134,7 @@ void Comm::sendrecv_bytes(const void* sbuf, i64 sbytes, int dst, void* rbuf,
     {
       BlockedScope bs(&cl->blocked_count_, ctx, "sendrecv-wait", state_->id,
                       dst, tag);
-      cl->cv_.wait(lk, [&] {
+      cl->rank_wait(lk, detail::WaitKey::chan(skey), [&] {
         ctx->checked_gen = cl->progress_gen_;
         return rec.consumed || cl->abort_requested_;
       });

@@ -44,6 +44,10 @@ class Comm {
   bool same_node(int other) const;
   const Machine& machine() const;
   const GroupProfile& profile() const;
+  /// The cluster this communicator belongs to (null for invalid comms).
+  /// Long-lived components that rank code constructs — e.g. the engine's
+  /// CoopMutex — bind to it so their blocking works under both backends.
+  Cluster* cluster() const;
   bool valid() const { return state_ != nullptr; }
 
   /// MPI_Comm_split: ranks with equal `color` form a new communicator,

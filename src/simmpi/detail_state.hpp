@@ -31,6 +31,23 @@ struct SendRec {
   bool eager = false;
 };
 
+/// A posted receive, registered in Cluster::posted_recvs_ while the receiver
+/// is parked in recv with an empty channel. A sender that finds it (and an
+/// empty channel — FIFO) delivers zero-copy: memcpy straight into `buf`,
+/// payload flip applied in place, and the receiver's exit time computed on
+/// the spot from its own slowdown, skipping the eager staging copy entirely.
+/// Lives on the receiver's stack; the receiver unregisters it on every exit
+/// path of its wait. All fields are guarded by the cluster lock.
+struct RecvRec {
+  void* buf = nullptr;
+  i64 bytes = 0;
+  double t_entry = 0;    ///< receiver's entry clock
+  double slowdown = 1;   ///< receiver's straggler factor for the t_p2p charge
+  bool filled = false;   ///< a sender delivered; t_exit/sender_entry valid
+  double sender_entry = 0;
+  double t_exit = 0;
+};
+
 /// Shared state of one communicator: membership plus a single in-flight
 /// collective rendezvous. MPI semantics guarantee all members call the same
 /// collective in the same order, so one slot set per communicator suffices.
@@ -115,6 +132,14 @@ struct CommState {
   // the cluster-wide rendezvous lock and failure-handling state.
   std::mutex& mu() const { return cluster->mu_; }
   std::condition_variable& cv() const { return cluster->cv_; }
+  /// Blocks the calling rank on this communicator's rendezvous until `pred`
+  /// holds: condition variable for plain threads, keyed park for fibers.
+  template <typename Pred>
+  void coll_wait(std::unique_lock<std::mutex>& lk, Pred&& pred) const {
+    cluster->rank_wait(lk, WaitKey::coll(id), std::forward<Pred>(pred));
+  }
+  /// Wakes fibers parked in coll_wait (pair with cv().notify_all()).
+  void wake_coll() const { cluster->wake_key_locked(WaitKey::coll(id)); }
   bool aborted() const { return cluster->abort_requested_; }
   void bump_progress() const { ++cluster->progress_gen_; }
   void note_check(RankCtx* ctx) const {

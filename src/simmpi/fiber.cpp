@@ -1,0 +1,457 @@
+#include "simmpi/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/pool.hpp"
+
+// ---- sanitizer fiber annotations ----
+// ASan tracks a fake stack per context; without start/finish_switch_fiber
+// around every swapcontext it reports wild stack-use-after-return on the
+// first switch. TSan needs to be told a fiber is a distinct logical thread.
+// Both interfaces are declared manually: the prototypes are stable, and not
+// every toolchain ships the sanitizer headers.
+#if defined(__SANITIZE_ADDRESS__)
+#define CA_FIBER_ASAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CA_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define CA_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define CA_FIBER_TSAN 1
+#endif
+
+#if defined(CA_FIBER_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+#if defined(CA_FIBER_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+#if defined(CA_SIMMPI_FAST_SWITCH)
+// ---- hand-rolled x86-64 context switch ----
+// Saves the SysV callee-saved state (rbp, rbx, r12-r15, mxcsr, x87 control
+// word) on the current stack, stores the resulting %rsp through save_sp,
+// installs next_sp, restores the same state from it, and returns there.
+// `arg` rides through in %rax: for a suspended context it becomes
+// ca_ctx_switch's return value; for a fresh context ca_ctx_entry moves it
+// into %rdi and calls ca_fiber_entry with it. No syscalls — this is the
+// whole point (swapcontext does rt_sigprocmask every time).
+extern "C" void* ca_ctx_switch(void** save_sp, void* next_sp, void* arg);
+extern "C" void ca_ctx_entry();
+
+asm(R"(
+    .pushsection .text
+    .globl ca_ctx_switch
+    .type ca_ctx_switch, @function
+    .align 16
+ca_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq $8, %rsp
+    stmxcsr (%rsp)
+    fnstcw 4(%rsp)
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    ldmxcsr (%rsp)
+    fldcw 4(%rsp)
+    addq $8, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    movq %rdx, %rax
+    retq
+    .size ca_ctx_switch, .-ca_ctx_switch
+
+    .globl ca_ctx_entry
+    .type ca_ctx_entry, @function
+    .align 16
+ca_ctx_entry:
+    movq %rax, %rdi
+    pushq $0
+    callq ca_fiber_entry
+    ud2
+    .size ca_ctx_entry, .-ca_ctx_entry
+    .popsection
+)");
+#endif  // CA_SIMMPI_FAST_SWITCH
+
+namespace ca3dmm::simmpi::detail {
+
+namespace {
+
+/// Scheduler-side context of one worker thread (lives on the worker's own
+/// stack for its whole life).
+struct WorkerFrame {
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  void* sched_sp = nullptr;  ///< saved stack pointer of the dispatch loop
+#else
+  ucontext_t sched_ctx{};
+#endif
+  const void* stack_lo = nullptr;  ///< worker thread stack, for ASan
+  std::size_t stack_bytes = 0;
+  void* asan_fake_stack = nullptr;
+  void* tsan_fiber = nullptr;  ///< the worker thread's own TSan context
+};
+
+thread_local WorkerFrame* g_worker = nullptr;
+thread_local Fiber* g_fiber = nullptr;
+
+void asan_start_switch(void** save, const void* bottom, std::size_t size) {
+#if defined(CA_FIBER_ASAN)
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+void asan_finish_switch(void* save) {
+#if defined(CA_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(save, nullptr, nullptr);
+#else
+  (void)save;
+#endif
+}
+
+void tsan_switch_to(void* fiber) {
+#if defined(CA_FIBER_TSAN)
+  __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+/// Bounds of the calling thread's stack (glibc). ASan needs the target
+/// stack's extent when switching back from a fiber to the worker.
+void query_thread_stack(const void** lo, std::size_t* bytes) {
+#if defined(__GLIBC__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    pthread_attr_getstack(&attr, &addr, &size);
+    pthread_attr_destroy(&attr);
+    *lo = addr;
+    *bytes = size;
+    return;
+  }
+#endif
+  *lo = nullptr;
+  *bytes = 0;
+}
+
+/// Body shared by both switch mechanisms: first entry onto a fresh fiber
+/// stack, run the rank, switch out for good.
+void fiber_main(Fiber* f) {
+  // First entry onto this stack: complete the ASan switch the worker began.
+  asan_finish_switch(f->asan_fake_stack);
+  f->body();
+  f->state.store(Fiber::kFinished, std::memory_order_release);
+  // Final departure: a null save tells ASan to drop this stack's fake
+  // frames — the stack is dead after this switch.
+  WorkerFrame& w = *g_worker;
+  asan_start_switch(nullptr, w.stack_lo, w.stack_bytes);
+  tsan_switch_to(w.tsan_fiber);
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  void* dead_sp = nullptr;
+  ca_ctx_switch(&dead_sp, w.sched_sp, nullptr);
+#else
+  swapcontext(&f->uctx, &w.sched_ctx);
+#endif
+  // Unreachable: a kFinished fiber is never dispatched again.
+  std::abort();
+}
+
+#if !defined(CA_SIMMPI_FAST_SWITCH)
+/// makecontext only passes ints; the fiber pointer rides in two halves.
+void fiber_trampoline(unsigned hi, unsigned lo) {
+  fiber_main(reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                      static_cast<std::uintptr_t>(lo)));
+}
+#endif
+
+#if defined(CA_SIMMPI_FAST_SWITCH)
+/// Builds the initial saved context on a fresh fiber stack: the register
+/// frame ca_ctx_switch restores, returning into ca_ctx_entry, which hands
+/// the switch's `arg` (the Fiber*) to ca_fiber_entry. The control-word slot
+/// is seeded from the caller so fibers inherit the process FP environment.
+void* ctx_make(void* stack_top) {
+  auto* sp = reinterpret_cast<std::uint64_t*>(
+      reinterpret_cast<std::uintptr_t>(stack_top) & ~std::uintptr_t{15});
+  *--sp = 0;  // fake return address below ca_ctx_entry: stops unwinders
+  *--sp = reinterpret_cast<std::uint64_t>(&ca_ctx_entry);
+  for (int i = 0; i < 6; ++i) *--sp = 0;  // rbp, rbx, r12-r15
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  *--sp = static_cast<std::uint64_t>(mxcsr) |
+          (static_cast<std::uint64_t>(fcw) << 32);
+  return sp;
+}
+#endif
+
+}  // namespace
+
+#if defined(CA_SIMMPI_FAST_SWITCH)
+/// First-entry target of ca_ctx_entry (C linkage: called from the asm
+/// thunk). Never returns.
+extern "C" void ca_fiber_entry(void* arg) {
+  fiber_main(static_cast<Fiber*>(arg));
+}
+#endif
+
+Fiber* current_fiber() { return g_fiber; }
+
+FiberScheduler::FiberScheduler(int nranks, int workers,
+                               std::size_t stack_bytes)
+    : nranks_(nranks), stack_bytes_(stack_bytes) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  initial_workers_ = workers > 0 ? workers : std::min(nranks, std::max(1, hw));
+  initial_workers_ = std::max(1, std::min(initial_workers_, nranks));
+  // Growth cap: in the worst case every rank fiber blocks in the OS at once
+  // (rank code join()ing real helper threads), and each needs its own
+  // worker for the rest to keep running.
+  max_workers_ = nranks;
+  fibers_.resize(static_cast<size_t>(nranks));
+}
+
+FiberScheduler::~FiberScheduler() {
+  for (auto& f : fibers_) {
+    if (!f) continue;
+#if defined(CA_FIBER_TSAN)
+    if (f->tsan_fiber) __tsan_destroy_fiber(f->tsan_fiber);
+#endif
+    if (f->map_base) munmap(f->map_base, f->map_bytes);
+  }
+}
+
+void FiberScheduler::spawn(int rank, std::function<void()> body) {
+  auto f = std::make_unique<Fiber>();
+  f->rank = rank;
+  f->sched = this;
+  f->body = std::move(body);
+
+  // Guard page below the stack: an overflow faults instead of silently
+  // corrupting the neighbouring fiber. MAP_NORESERVE keeps thousands of
+  // ranks cheap — physical pages are only committed where the stack is
+  // actually touched.
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t ps = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t usable = ((stack_bytes_ + ps - 1) / ps) * ps;
+  f->map_bytes = usable + ps;
+  void* base = mmap(nullptr, f->map_bytes, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  CA_REQUIRE(base != MAP_FAILED,
+             "fiber stack mmap of %zu bytes failed for rank %d", f->map_bytes,
+             rank);
+  f->map_base = static_cast<char*>(base);
+  mprotect(f->map_base, ps, PROT_NONE);
+  f->stack_lo = f->map_base + ps;
+  f->stack_bytes = usable;
+
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  f->sp = ctx_make(f->stack_lo + f->stack_bytes);
+#else
+  CA_REQUIRE(getcontext(&f->uctx) == 0, "getcontext failed");
+  f->uctx.uc_stack.ss_sp = f->stack_lo;
+  f->uctx.uc_stack.ss_size = f->stack_bytes;
+  f->uctx.uc_link = nullptr;
+  const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(f.get());
+  makecontext(&f->uctx, reinterpret_cast<void (*)()>(fiber_trampoline), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+#endif
+#if defined(CA_FIBER_TSAN)
+  f->tsan_fiber = __tsan_create_fiber(0);
+#endif
+
+  std::lock_guard<std::mutex> lk(mu_);
+  runnable_.insert({0.0, rank});
+  fibers_[static_cast<size_t>(rank)] = std::move(f);
+}
+
+void FiberScheduler::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int i = 0; i < initial_workers_; ++i) spawn_worker_locked();
+  monitor_ = std::thread([this] { monitor_main(); });
+}
+
+void FiberScheduler::spawn_worker_locked() {
+  workers_.emplace_back([this] { worker_main(); });
+}
+
+Fiber* FiberScheduler::pop_runnable_locked() {
+  auto it = runnable_.begin();
+  Fiber* f = fibers_[static_cast<size_t>(it->second)].get();
+  runnable_.erase(it);
+  return f;
+}
+
+void FiberScheduler::worker_main() {
+  WorkerFrame frame;
+  query_thread_stack(&frame.stack_lo, &frame.stack_bytes);
+#if defined(CA_FIBER_TSAN)
+  frame.tsan_fiber = __tsan_get_current_fiber();
+#endif
+  g_worker = &frame;
+  for (;;) {
+    Fiber* f = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !runnable_.empty(); });
+      if (runnable_.empty()) return;  // stop_ set and nothing left to run
+      f = pop_runnable_locked();
+      ++running_;
+      ++dispatches_;
+    }
+    f->state.store(Fiber::kRunning, std::memory_order_relaxed);
+    switch_into(f);
+    // The fiber switched back: it either finished or is parking.
+    if (f->state.load(std::memory_order_acquire) == Fiber::kFinished) {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (++finished_ == nranks_) done_cv_.notify_all();
+    } else {
+      int expected = Fiber::kParking;
+      const bool parked = f->state.compare_exchange_strong(
+          expected, Fiber::kParked, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (!parked) {
+        // A waker caught the fiber mid-switch (kNotified): it is in no wait
+        // list and no one else owns it, so this worker re-enqueues it.
+        f->state.store(Fiber::kRunnable, std::memory_order_relaxed);
+        runnable_.insert({f->vclock, f->rank});
+        work_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void FiberScheduler::switch_into(Fiber* f) {
+  WorkerFrame& w = *g_worker;
+  g_fiber = f;
+  // Install the fiber's TLS view; the worker's own view (always null rank
+  // context / null pool) is restored on the way out.
+  RankCtx* prev_ctx = swap_rank_tls(f->tls_ctx);
+  BufferPool* prev_pool = swap_tls_pool(f->tls_pool);
+  asan_start_switch(&w.asan_fake_stack, f->stack_lo, f->stack_bytes);
+  tsan_switch_to(f->tsan_fiber);
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  ca_ctx_switch(&w.sched_sp, f->sp, f);
+#else
+  swapcontext(&w.sched_ctx, &f->uctx);
+#endif
+  asan_finish_switch(w.asan_fake_stack);
+  f->tls_pool = swap_tls_pool(prev_pool);
+  f->tls_ctx = swap_rank_tls(prev_ctx);
+  g_fiber = nullptr;
+}
+
+void FiberScheduler::park_current(std::unique_lock<std::mutex>& lk) {
+  Fiber* f = g_fiber;
+  CA_ASSERT(f != nullptr);
+  f->vclock = current_ctx() ? current_ctx()->clock : f->vclock;
+  f->state.store(Fiber::kParking, std::memory_order_release);
+  lk.unlock();
+  WorkerFrame& w = *g_worker;
+  asan_start_switch(&f->asan_fake_stack, w.stack_lo, w.stack_bytes);
+  tsan_switch_to(w.tsan_fiber);
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  ca_ctx_switch(&f->sp, w.sched_sp, nullptr);
+#else
+  swapcontext(&f->uctx, &w.sched_ctx);
+#endif
+  // Resumed — possibly on a different worker thread, so the worker frame
+  // TLS must not be cached across the switch.
+  asan_finish_switch(f->asan_fake_stack);
+  lk.lock();
+}
+
+void FiberScheduler::wake(Fiber* f) {
+  int expected = Fiber::kParking;
+  if (f->state.compare_exchange_strong(expected, Fiber::kNotified,
+                                       std::memory_order_acq_rel))
+    return;  // still switching out; its worker re-enqueues it
+  CA_ASSERT(expected == Fiber::kParked);
+  f->state.store(Fiber::kRunnable, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  runnable_.insert({f->vclock, f->rank});
+  work_cv_.notify_one();
+}
+
+bool FiberScheduler::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return runnable_.empty() && running_ == 0;
+}
+
+void FiberScheduler::monitor_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t last_dispatches = dispatches_;
+  bool prev_stuck = false;
+  while (!stop_) {
+    monitor_cv_.wait_for(lk, std::chrono::milliseconds(10));
+    if (stop_) break;
+    // Runnable fibers with no dispatch across two samples means every
+    // worker is wedged inside a fiber that blocked in the OS (mutex, join,
+    // sleep). Grow the pool so the runnable fibers make progress; idle
+    // extra workers are harmless and die at shutdown.
+    const bool stuck = !runnable_.empty() && dispatches_ == last_dispatches &&
+                       static_cast<int>(workers_.size()) >= running_;
+    if (stuck && prev_stuck &&
+        static_cast<int>(workers_.size()) < max_workers_)
+      spawn_worker_locked();
+    prev_stuck = stuck;
+    last_dispatches = dispatches_;
+  }
+}
+
+void FiberScheduler::wait_all_finished() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return finished_ == nranks_; });
+}
+
+void FiberScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  monitor_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+}  // namespace ca3dmm::simmpi::detail

@@ -1,0 +1,191 @@
+// Fiber backend of the simulated cluster: ranks as stackful coroutines.
+//
+// The thread backend maps each rank to a std::thread, which caps real runs
+// at a few hundred ranks per box. Here a rank is a stackful fiber with its
+// own small guard-paged stack, multiplexed over a worker pool of about
+// hardware_concurrency OS threads. Runnable fibers are dispatched lowest
+// virtual clock first, so the execution order tracks simulated time; the
+// cluster's state transitions are order-independent by construction, which
+// is what makes results, vtimes, and traces bit-identical to the thread
+// backend (docs/SIMMPI.md documents the determinism contract).
+//
+// Blocking: a fiber that would wait on the cluster condition variable
+// instead parks — it registers under a WaitKey, unlocks the cluster mutex,
+// and switches back to its worker's scheduler context. Wake-ups are keyed
+// (per communicator, per p2p channel, per cooperative mutex), so completing
+// one rendezvous never touches the thousands of fibers parked on unrelated
+// state. Real OS threads (e.g. PgemmEngine helper threads that adopted a
+// rank context) keep using the condition-variable path; every wake site
+// signals both.
+//
+// The parking handshake is the eventcount pattern: the fiber announces
+// kParking under the cluster lock, unlocks, and switches out; its worker
+// completes kParking -> kParked after the switch. A waker that catches the
+// fiber mid-switch CASes kParking -> kNotified instead, and the worker
+// re-enqueues the fiber on seeing it — so a wake-up between "unlock" and
+// "switched out" is never lost, and a fiber is never enqueued while a
+// worker is still on its stack.
+//
+// Workers never hold the cluster mutex across a context switch, and a
+// fiber's TLS view (current rank context, active buffer pool) is saved and
+// restored around every switch, so fibers migrate freely between workers.
+// A monitor thread grows the pool when every worker is stuck inside a
+// fiber that blocked in the OS (e.g. rank code join()ing helper threads)
+// while runnable fibers starve.
+#pragma once
+
+#include <ucontext.h>
+
+// Context-switch mechanism. On x86-64 Linux the scheduler uses a hand-rolled
+// switch (save/restore the SysV callee-saved registers + FP control words,
+// swap %rsp): glibc's swapcontext issues an rt_sigprocmask syscall on every
+// switch, which on a mitigation-heavy kernel costs as much as the thread
+// context switch fibers exist to avoid. Other architectures (and
+// -DCA_SIMMPI_FORCE_UCONTEXT builds) fall back to ucontext.
+#if defined(__x86_64__) && defined(__linux__) && \
+    !defined(CA_SIMMPI_FORCE_UCONTEXT)
+#define CA_SIMMPI_FAST_SWITCH 1
+#endif
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ca3dmm::simmpi {
+
+struct RankCtx;
+class BufferPool;
+
+namespace detail {
+
+class FiberScheduler;
+
+/// One rank coroutine. All fields except `state` are owned by whichever
+/// worker is (or last was) running the fiber; `state` is the cross-thread
+/// handshake.
+struct Fiber {
+  enum State {
+    kRunnable,  ///< in the scheduler's runnable set
+    kRunning,   ///< a worker is on this fiber's stack
+    kParking,   ///< announced a park; not yet switched out
+    kParked,    ///< fully switched out, waiting for a wake
+    kNotified,  ///< woken while still kParking; worker re-enqueues
+    kFinished,  ///< body returned; stack is dead
+  };
+
+#if defined(CA_SIMMPI_FAST_SWITCH)
+  void* sp = nullptr;            ///< saved stack pointer while switched out
+#else
+  ucontext_t uctx{};
+#endif
+  char* stack_lo = nullptr;      ///< usable stack (above the guard page)
+  std::size_t stack_bytes = 0;   ///< usable size
+  char* map_base = nullptr;      ///< mmap base (guard page + stack)
+  std::size_t map_bytes = 0;
+  int rank = -1;
+  std::atomic<int> state{kRunnable};
+  /// Virtual clock at the last park; dispatch priority (lowest first).
+  double vclock = 0;
+  std::function<void()> body;
+  FiberScheduler* sched = nullptr;
+
+  // Fiber-virtualized thread-locals, live while the fiber is switched out.
+  // PoolScope / RankCtxScope mutate real TLS; saving both around every
+  // switch keeps one fiber's pool or adopted context from leaking into
+  // another fiber sharing the worker.
+  RankCtx* tls_ctx = nullptr;
+  BufferPool* tls_pool = nullptr;
+
+  void* asan_fake_stack = nullptr;  ///< __sanitizer_*_switch_fiber handle
+  void* tsan_fiber = nullptr;       ///< __tsan fiber handle
+};
+
+/// The fiber the calling OS thread is currently running, or nullptr when
+/// called from a plain thread (thread backend, engine helper threads, the
+/// watchdog). This is what routes Cluster::rank_wait to park vs cv-wait.
+Fiber* current_fiber();
+
+/// Worker pool + runnable set. Wake-side bookkeeping (the WaitKey -> fiber
+/// lists) lives in the Cluster under its mutex; the scheduler only owns
+/// dispatch.
+class FiberScheduler {
+ public:
+  /// `workers` = 0 picks min(hardware_concurrency, nranks). `stack_bytes`
+  /// is the usable per-fiber stack (a guard page is added below it).
+  FiberScheduler(int nranks, int workers, std::size_t stack_bytes);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Creates the fiber for `rank` and enqueues it runnable. Call before
+  /// start() (fibers all start at virtual time 0, dispatched in rank
+  /// order).
+  void spawn(int rank, std::function<void()> body);
+
+  /// Launches the worker pool and the growth monitor.
+  void start();
+
+  /// Blocks until every spawned fiber reached kFinished.
+  void wait_all_finished();
+
+  /// Stops and joins workers + monitor. All fibers must be finished.
+  void shutdown();
+
+  /// Parks the current fiber. Caller holds the cluster mutex via `lk` and
+  /// has already registered the fiber in the cluster's wait table; the
+  /// mutex is released before the switch and re-acquired after resume
+  /// (possibly on a different worker thread).
+  void park_current(std::unique_lock<std::mutex>& lk);
+
+  /// Makes a fiber runnable again (or flags it kNotified if it is still
+  /// switching out). The caller must have removed it from the wait table;
+  /// callable from fibers and plain threads alike.
+  void wake(Fiber* f);
+
+  /// True when no fiber is runnable or running — with every live rank
+  /// blocked and no progress, that is the fiber backend's deadlock
+  /// criterion (parked fibers cannot self-resume).
+  bool idle() const;
+
+  int nranks() const { return nranks_; }
+
+ private:
+  void worker_main();
+  void monitor_main();
+  void switch_into(Fiber* f);
+  void spawn_worker_locked();
+  Fiber* pop_runnable_locked();
+
+  int nranks_;
+  int initial_workers_;
+  int max_workers_;
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;  ///< indexed by rank
+
+  mutable std::mutex mu_;  ///< guards everything below
+  std::set<std::pair<double, int>> runnable_;  ///< (vclock, rank)
+  int running_ = 0;        ///< fibers currently on a worker stack
+  int finished_ = 0;
+  std::uint64_t dispatches_ = 0;  ///< growth monitor's progress signal
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+  std::condition_variable work_cv_;   ///< runnable pushed / stop
+  std::condition_variable done_cv_;   ///< finished_ == nranks_
+  /// The monitor sleeps on its own condition variable, never on work_cv_:
+  /// a wake() notification would end its wait_for early, and two
+  /// back-to-back notifications would look like two 10 ms samples with no
+  /// dispatch in between — growing the pool on a phantom stall.
+  std::condition_variable monitor_cv_;
+};
+
+}  // namespace detail
+}  // namespace ca3dmm::simmpi

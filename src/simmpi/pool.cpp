@@ -99,6 +99,16 @@ i64 BufferPool::trim(i64 target_idle_bytes) {
 
 BufferPool* current_buffer_pool() { return tls_pool; }
 
+namespace detail {
+
+BufferPool* swap_tls_pool(BufferPool* next) {
+  BufferPool* prev = tls_pool;
+  tls_pool = next;
+  return prev;
+}
+
+}  // namespace detail
+
 PoolScope::PoolScope(BufferPool* pool) : saved_(tls_pool) { tls_pool = pool; }
 
 PoolScope::~PoolScope() { tls_pool = saved_; }

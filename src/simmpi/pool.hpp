@@ -112,6 +112,14 @@ class BufferPool {
 /// PoolScope is active).
 BufferPool* current_buffer_pool();
 
+namespace detail {
+/// Installs `next` as the calling thread's active pool and returns the
+/// previous one. The fiber scheduler saves/restores each fiber's pool view
+/// around context switches so PoolScope keeps working when fibers share
+/// (and migrate between) worker threads.
+BufferPool* swap_tls_pool(BufferPool* next);
+}  // namespace detail
+
 /// RAII activation of a pool for the calling rank thread; nests (the
 /// previous pool is restored on destruction).
 class PoolScope {

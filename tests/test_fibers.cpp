@@ -1,0 +1,416 @@
+// Fiber scheduler backend: the determinism contract (results, per-rank
+// virtual times, per-phase stats, and trace critical paths bit-identical to
+// the thread backend), deadlock watchdog and fault injection on fibers,
+// the zero-copy posted-receive fast path, engine helper threads racing into
+// a fiber-hosted rank, and a many-rank smoke at P=512.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "costmodel/drift.hpp"
+#include "engine/engine.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "simmpi/cluster.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
+#include "simmpi/trace.hpp"
+
+namespace ca3dmm::simmpi {
+namespace {
+
+using costmodel::Algo;
+using costmodel::Workload;
+using engine::EngineStats;
+using engine::PgemmEngine;
+using engine::Request;
+
+/// Every field of RankStats that is part of the determinism contract must
+/// match bit-for-bit across backends. p2p_zero_copy is deliberately
+/// excluded: it depends on send/recv arrival order, which the thread
+/// backend leaves to the host scheduler (vtimes are identical either way).
+void expect_stats_identical(const RankStats& a, const RankStats& b, int rank) {
+  EXPECT_EQ(a.vtime, b.vtime) << "rank " << rank;
+  EXPECT_EQ(a.flops, b.flops) << "rank " << rank;
+  EXPECT_EQ(a.peak_bytes, b.peak_bytes) << "rank " << rank;
+  EXPECT_EQ(a.comm_splits, b.comm_splits) << "rank " << rank;
+  EXPECT_EQ(a.abft_corrected, b.abft_corrected) << "rank " << rank;
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    EXPECT_EQ(a.phase_s[p], b.phase_s[p]) << "rank " << rank << " phase " << p;
+    EXPECT_EQ(a.inter_bytes_s[p], b.inter_bytes_s[p])
+        << "rank " << rank << " phase " << p;
+    EXPECT_EQ(a.bytes_sent_s[p], b.bytes_sent_s[p])
+        << "rank " << rank << " phase " << p;
+    EXPECT_EQ(a.bytes_recvd_s[p], b.bytes_recvd_s[p])
+        << "rank " << rank << " phase " << p;
+  }
+}
+
+std::string run_expect_error(Cluster& cl,
+                             const std::function<void(Comm&)>& rank_main) {
+  try {
+    cl.run(rank_main);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "run() completed without raising an Error";
+  return "";
+}
+
+TEST(FiberParity, MixedWorkloadBitIdenticalAcrossSeeds) {
+  // The throughput bench's workload shape at test scale, swept over seeds
+  // that perturb every value flowing through the collectives and the ring.
+  // Per-rank payloads, final clocks, and full stats must be bit-identical
+  // between the two backends for every seed.
+  const int P = 12;
+  for (const int seed : {1, 7, 1234}) {
+    std::vector<std::vector<double>> payload(2);
+    std::vector<std::vector<RankStats>> stats(2);
+    int bi = 0;
+    for (Cluster::Backend backend :
+         {Cluster::Backend::kThreads, Cluster::Backend::kFibers}) {
+      Machine mach = Machine::phoenix_mpi();
+      mach.ranks_per_node = 4;
+      Cluster cl(P, mach);
+      cl.set_backend(backend);
+      payload[bi].assign(static_cast<size_t>(P), 0.0);
+      auto& out = payload[bi];
+      cl.run([&out, seed](Comm& c) {
+        const int me = c.rank(), n = c.size();
+        double acc = seed * 0.5;
+        double in[4], red[4];
+        std::vector<double> gath(static_cast<size_t>(n));
+        for (int round = 0; round < 40; ++round) {
+          for (int i = 0; i < 4; ++i) in[i] = me * 1e-3 + seed + round + i;
+          c.allreduce(in, red, 4);
+          acc += red[0] - red[3];
+          double s = acc + me, r = 0;
+          c.sendrecv(&s, 1, (me + 1) % n, &r, 1, (me + n - 1) % n,
+                     /*tag=*/(round + seed) & 0x3F);
+          acc += 1e-9 * r;
+          c.allgather(&acc, 1, gath.data());
+          acc += gath[static_cast<size_t>((me + round) % n)] * 1e-6;
+          c.barrier();
+        }
+        out[static_cast<size_t>(me)] = acc;
+      });
+      for (int r = 0; r < P; ++r) stats[bi].push_back(cl.stats(r));
+      ++bi;
+    }
+    EXPECT_EQ(payload[0], payload[1]) << "seed " << seed;
+    for (int r = 0; r < P; ++r)
+      expect_stats_identical(stats[0][static_cast<size_t>(r)],
+                             stats[1][static_cast<size_t>(r)], r);
+  }
+}
+
+TEST(FiberParity, Ca3dmmExecutionStatsIdentical) {
+  // The full CA3DMM pipeline (redistribute, replicate, Cannon, reduce)
+  // executed on both backends: aggregate and per-rank stats bit-identical.
+  const Workload w{96, 96, 96};
+  Cluster th(16, Machine::unit_test());
+  Cluster fi(16, Machine::unit_test());
+  th.set_backend(Cluster::Backend::kThreads);
+  fi.set_backend(Cluster::Backend::kFibers);
+  const RankStats agg_th = costmodel::run_workload(Algo::kCa3dmm, w, th);
+  const RankStats agg_fi = costmodel::run_workload(Algo::kCa3dmm, w, fi);
+  expect_stats_identical(agg_th, agg_fi, -1);
+  for (int r = 0; r < 16; ++r)
+    expect_stats_identical(th.stats(r), fi.stats(r), r);
+}
+
+TEST(FiberParity, TraceAndCriticalPathIdentical) {
+  // With tracing on, both backends must record the same per-rank timelines:
+  // same record count and fields per rank, and the same critical path (the
+  // formatted path string is a pure function of the trace).
+  const Workload w{64, 64, 64};
+  Cluster th(8, Machine::unit_test());
+  Cluster fi(8, Machine::unit_test());
+  th.set_backend(Cluster::Backend::kThreads);
+  fi.set_backend(Cluster::Backend::kFibers);
+  th.set_trace(true);
+  fi.set_trace(true);
+  costmodel::run_workload(Algo::kCa3dmm, w, th);
+  costmodel::run_workload(Algo::kCa3dmm, w, fi);
+  for (int r = 0; r < 8; ++r) {
+    const auto& a = th.trace(r);
+    const auto& b = fi.trace(r);
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].kind, b[i].kind) << "rank " << r << " rec " << i;
+      EXPECT_STREQ(a[i].name, b[i].name) << "rank " << r << " rec " << i;
+      EXPECT_EQ(a[i].t0, b[i].t0) << "rank " << r << " rec " << i;
+      EXPECT_EQ(a[i].t1, b[i].t1) << "rank " << r << " rec " << i;
+      EXPECT_EQ(a[i].dep_rank, b[i].dep_rank) << "rank " << r << " rec " << i;
+      EXPECT_EQ(a[i].t_dep, b[i].t_dep) << "rank " << r << " rec " << i;
+    }
+  }
+  EXPECT_EQ(format_critical_path(critical_path(th)),
+            format_critical_path(critical_path(fi)));
+  EXPECT_EQ(format_aggregate_table(aggregate_trace(th)),
+            format_aggregate_table(aggregate_trace(fi)));
+}
+
+TEST(FiberWatchdog, DeadlockDetectedOnFibers) {
+  // Parked fibers cannot self-resume, so "nothing runnable, nothing
+  // running" is the fiber backend's deadlock criterion; the watchdog must
+  // still produce the same rank-attributed wait-for diagnostic.
+  Cluster cl(2, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  cl.set_watchdog_interval_ms(20);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    if (c.rank() == 0) {
+      double x = 0;
+      c.recv(&x, 1, 1, 999);  // rank 1 sends tag 7, never 999
+    } else {
+      double v = 1;
+      c.send(&v, 1, 0, 7);
+    }
+  });
+  EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait-for table"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("tag=999"), std::string::npos) << msg;
+}
+
+TEST(FiberFaults, KillRankCaughtOnFibers) {
+  Cluster cl(4, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  FaultPlan fp;
+  fp.kills.push_back({.rank = 2, .at_op = 3});
+  cl.set_fault_plan(fp);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    for (int i = 0; i < 10; ++i) c.barrier();
+  });
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fault injection"), std::string::npos) << msg;
+  ASSERT_EQ(cl.failed_ranks().size(), 1u);
+  EXPECT_EQ(cl.failed_ranks()[0], 2);
+
+  // A clean plan runs again on the same cluster (fiber pool is per-run).
+  cl.set_fault_plan(FaultPlan{});
+  cl.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(FiberFaults, StragglerVtimesMatchThreadBackend) {
+  // Fault-injected time dilation must flow through the fiber scheduler's
+  // vclock ordering without disturbing determinism: both backends see the
+  // same straggler-shifted clocks.
+  FaultPlan fp;
+  fp.stragglers.push_back({.node = 1, .factor = 3.0});
+  auto body = [](Comm& c) {
+    c.charge_compute(1e6, 0);
+    c.barrier();
+    // Trailing *local* work after the barrier: the straggled rank's clock
+    // ends 3x further out, observable in its final vtime.
+    c.charge_compute(1e6, 0);
+  };
+  std::vector<double> vt[2];
+  int bi = 0;
+  for (Cluster::Backend backend :
+       {Cluster::Backend::kThreads, Cluster::Backend::kFibers}) {
+    Cluster cl(4, Machine::unit_test());
+    cl.set_backend(backend);
+    cl.set_fault_plan(fp);
+    cl.run(body);
+    for (int r = 0; r < 4; ++r) vt[bi].push_back(cl.stats(r).vtime);
+    ++bi;
+  }
+  EXPECT_EQ(vt[0], vt[1]);
+  EXPECT_GT(vt[1][1], vt[1][0]);  // straggled rank finishes later
+}
+
+TEST(FiberFaults, PayloadFlipFiresOnZeroCopyPath) {
+  // Rank 0 posts its recv first (fibers dispatch rank 0 at vclock 0 until
+  // it parks), so rank 1's send takes the zero-copy path — and the flip
+  // must corrupt the posted buffer exactly as it would the staged copy.
+  Cluster cl(2, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  FaultPlan fp;
+  fp.flips.push_back(
+      {.src = 1, .dst = 0, .tag = 5, .nth_match = 1, .offset = 0, .mask = 1});
+  cl.set_fault_plan(fp);
+  double got = 0;
+  cl.run([&got](Comm& c) {
+    if (c.rank() == 0) {
+      c.recv(&got, 1, 1, 5);
+    } else {
+      double v = 1.0;
+      c.send(&v, 1, 0, 5);
+    }
+  });
+  double expect = 1.0;
+  unsigned char b[sizeof(double)];
+  std::memcpy(b, &expect, sizeof b);
+  b[0] ^= 1;
+  std::memcpy(&expect, b, sizeof expect);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(cl.stats(0).p2p_zero_copy, 1);  // the fast path really fired
+}
+
+TEST(ZeroCopy, PostedReceiveTakesFastPathWithIdenticalTiming) {
+  // Receiver-first order (rank 0 posts, rank 1 sends) must hit the
+  // zero-copy path on fibers; sender-first order (rank 0 sends into an
+  // unposted channel) must not. Both orders and both backends produce the
+  // same values and virtual clocks.
+  auto recv_first = [](Comm& c) {
+    double x = 0;
+    if (c.rank() == 0) {
+      c.recv(&x, 1, 1, 0);
+      EXPECT_EQ(x, 41.0);
+    } else {
+      x = 41.0;
+      c.send(&x, 1, 0, 0);
+    }
+  };
+  auto send_first = [](Comm& c) {
+    double x = 0;
+    if (c.rank() == 0) {
+      x = 43.0;
+      c.send(&x, 1, 1, 0);
+    } else {
+      c.recv(&x, 1, 0, 0);
+      EXPECT_EQ(x, 43.0);
+    }
+  };
+
+  Cluster fi(2, Machine::unit_test());
+  fi.set_backend(Cluster::Backend::kFibers);
+  fi.run(recv_first);
+  EXPECT_EQ(fi.stats(0).p2p_zero_copy, 1);
+  const double vt_fi_recv = fi.stats(0).vtime;
+  fi.run(send_first);
+  EXPECT_EQ(fi.stats(1).p2p_zero_copy, 0);  // eager: nothing was posted
+  const double vt_fi_send = fi.stats(1).vtime;
+
+  Cluster th(2, Machine::unit_test());
+  th.set_backend(Cluster::Backend::kThreads);
+  th.run(recv_first);
+  EXPECT_EQ(th.stats(0).vtime, vt_fi_recv);
+  th.run(send_first);
+  EXPECT_EQ(th.stats(1).vtime, vt_fi_send);
+  // Delivery path never changes modeled time: receiver's cost is the same
+  // whether the message was staged or delivered zero-copy.
+  EXPECT_EQ(vt_fi_recv, vt_fi_send);
+}
+
+TEST(ZeroCopy, SizeMismatchStillRaisedOnReceiver) {
+  // A posted-size mismatch must decline the fast path and flow through the
+  // eager queue so the *receiver* raises the error, same attribution as the
+  // thread backend.
+  Cluster cl(2, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  const std::string msg = run_expect_error(cl, [](Comm& c) {
+    double x[2] = {1, 2};
+    if (c.rank() == 0)
+      c.recv(x, 2, 1, 0);  // posts 16 bytes; sender provides 8
+    else
+      c.send(x, 1, 0, 0);
+  });
+  EXPECT_NE(msg.find("recv size mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+}
+
+TEST(FiberEngine, RacingSubmittersOnFiberRanks) {
+  // Engine helper threads are real OS threads racing into a rank that is a
+  // fiber: they adopt the rank context and block on the condition-variable
+  // path while the fiber's worker blocks in join() — the case the pool's
+  // growth monitor exists for. Results must match the serial reference.
+  const i64 m = 24;
+  const int P = 2, kThreads = 2, kReps = 3;
+  const BlockLayout lay = BlockLayout::col_1d(m, m, P);
+  constexpr std::uint64_t kSeedA = 31, kSeedB = 32;
+  auto fill_local = [&](int rank, std::uint64_t seed,
+                        std::vector<double>& buf) {
+    buf.assign(static_cast<size_t>(lay.local_size(rank)), 0.0);
+    i64 pos = 0;
+    for (const Rect& r : lay.rects_of(rank))
+      for (i64 i = r.r.lo; i < r.r.hi; ++i)
+        for (i64 j = r.c.lo; j < r.c.hi; ++j)
+          buf[static_cast<size_t>(pos++)] = matrix_entry<double>(seed, i, j);
+  };
+  Cluster cl(P, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  cl.run([&](Comm& world) {
+    const int me = world.rank();
+    std::vector<double> a, b;
+    fill_local(me, kSeedA, a);
+    fill_local(me, kSeedB, b);
+    PgemmEngine eng(world);
+    std::vector<std::vector<double>> cs(
+        kThreads,
+        std::vector<double>(static_cast<size_t>(lay.local_size(me))));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kReps; ++i) {
+          Request<double> req;
+          req.m = m;
+          req.n = m;
+          req.k = m;
+          req.a_layout = &lay;
+          req.a = a.data();
+          req.b_layout = &lay;
+          req.b = b.data();
+          req.c_layout = &lay;
+          req.c = cs[static_cast<size_t>(t)].data();
+          eng.multiply(req);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+
+    const EngineStats st = eng.stats();
+    EXPECT_EQ(st.requests, kThreads * kReps);
+
+    Matrix<double> am(m, m), bm(m, m);
+    am.fill_random(kSeedA);
+    bm.fill_random(kSeedB);
+    Matrix<double> c_ref(m, m);
+    gemm_ref<double>(false, false, m, m, m, 1.0, am.data(), bm.data(),
+                     c_ref.data());
+    for (int t = 0; t < kThreads; ++t) {
+      i64 pos = 0;
+      const std::vector<double>& c = cs[static_cast<size_t>(t)];
+      for (const Rect& r : lay.rects_of(me))
+        for (i64 i = r.r.lo; i < r.r.hi; ++i)
+          for (i64 j = r.c.lo; j < r.c.hi; ++j)
+            ASSERT_NEAR(c[static_cast<size_t>(pos++)], c_ref(i, j),
+                        1e-11 * static_cast<double>(m + 1))
+                << "rank " << me << " thread " << t;
+    }
+  });
+}
+
+TEST(FiberScale, ManyRanksOnSmallStacksSmoke) {
+  // 512 ranks in one address space — far past where thread-per-rank is
+  // practical — on deliberately small 128 KiB stacks and a 2-worker pool.
+  // All ranks leave the final barrier at the same virtual time, and the
+  // allreduce result is exact.
+  const int P = 512;
+  Cluster cl(P, Machine::unit_test());
+  cl.set_backend(Cluster::Backend::kFibers);
+  cl.set_fiber_stack_bytes(128u << 10);
+  cl.set_fiber_workers(2);
+  std::vector<double> sums(static_cast<size_t>(P), 0.0);
+  cl.run([&sums](Comm& c) {
+    double acc = 0;
+    for (int round = 0; round < 3; ++round) {
+      double v = c.rank() + 1, s = 0;
+      c.allreduce(&v, &s, 1);
+      acc += s;
+      c.barrier();
+    }
+    sums[static_cast<size_t>(c.rank())] = acc;
+  });
+  const double expect = 3.0 * (static_cast<double>(P) * (P + 1) / 2);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(sums[static_cast<size_t>(r)], expect) << "rank " << r;
+    EXPECT_EQ(cl.stats(r).vtime, cl.stats(0).vtime) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace ca3dmm::simmpi
