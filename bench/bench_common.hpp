@@ -246,12 +246,38 @@ inline void parse_service_flags(int* argc, char** argv) {
   *argc = out;
 }
 
+/// Path of the tuning DB selected by `--tuning-db <path>`; empty = no DB.
+/// Benches that construct a PgemmEngine load it and pass it through
+/// EngineConfig::tuning_db so bench runs exercise tuned plans the same way
+/// production would.
+inline std::string& bench_tuning_db_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parses and strips `--tuning-db PATH` (space- or =-separated) before
+/// google-benchmark sees argv.
+inline void parse_tuning_db_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--tuning-db") == 0 && i + 1 < *argc) {
+      bench_tuning_db_path() = argv[++i];
+    } else if (std::strncmp(argv[i], "--tuning-db=", 12) == 0) {
+      bench_tuning_db_path() = argv[i] + 12;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 /// Standard main body: run the registered benchmarks, then the paper table.
 inline int run_bench_main(int argc, char** argv,
                           const std::function<void()>& print_tables) {
   parse_fault_flags(&argc, argv);
   parse_service_flags(&argc, argv);
   parse_backend_flags(&argc, argv);
+  parse_tuning_db_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -124,7 +124,17 @@ EngineRow run_iterative(const SmallClass& sc, int P, int iters,
       fill_local(b_lay, world.rank(), 6, b);
       std::vector<double> c(
           static_cast<size_t>(c_lay.local_size(world.rank())));
-      engine::PgemmEngine eng(world);
+      engine::EngineConfig ecfg;
+      // --tuning-db: serve tuned plans the way a warmed production engine
+      // would. The DB is loaded once and shared across all rank bodies.
+      static tuner::TuningDb* tuning_db = [] {
+        if (bench_tuning_db_path().empty()) return (tuner::TuningDb*)nullptr;
+        auto* db = new tuner::TuningDb(bench_tuning_db_path());
+        db->load();
+        return db;
+      }();
+      ecfg.tuning_db = tuning_db;
+      engine::PgemmEngine eng(world, ecfg);
       engine::Request<double> req;
       req.m = sc.m;
       req.n = sc.n;

@@ -142,6 +142,7 @@ void ca3dmm_execute(Comm& world, const Ca3dmmPlan& plan, PlanComms* cached,
     for (int t = 0; t < s; ++t)
       sh.kpart_sizes.push_back(plan.kpart(co.gk, t).size());
     sh.abft = opt.abft;
+    sh.overlap = opt.overlap;
 
     Comm cannon_local;
     if (!cached) cannon_local = active.split(co.gk * c + co.gc, co.j * s + co.i);

@@ -175,14 +175,14 @@ void cannon_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
       grid.sendrecv(a_cur.data(), msg_elems<T>(abft, sh.mb * kb), left,
                     a_nxt.data(), msg_elems<T>(abft, sh.mb * kb_next), right,
                     kTagShiftA);
-      overlap_budget += grid.last_op_cost();
+      if (sh.overlap) overlap_budget += grid.last_op_cost();
       if (abft)
         abft_recv_check(grid, a_nxt.data(), sh.mb * kb_next, "Cannon A-shift");
       if (abft) abft_send_prep(grid, b_cur.data(), kb * sh.nb);
       grid.sendrecv(b_cur.data(), msg_elems<T>(abft, kb * sh.nb), up,
                     b_nxt.data(), msg_elems<T>(abft, kb_next * sh.nb), down,
                     kTagShiftB);
-      overlap_budget += grid.last_op_cost();
+      if (sh.overlap) overlap_budget += grid.last_op_cost();
       if (abft)
         abft_recv_check(grid, b_nxt.data(), kb_next * sh.nb, "Cannon B-shift");
     }
@@ -260,12 +260,12 @@ void summa_2d(Comm& grid, const Engine2dShape& sh, const T* a_block,
         std::memcpy(a_panel.data(), a_block,
                     static_cast<size_t>(sh.mb * kb) * sizeof(T));
       row.bcast(a_panel.data(), sh.mb * kb, t);
-      overlap_budget = grid.last_op_cost();
+      if (sh.overlap) overlap_budget = grid.last_op_cost();
       if (i == t && kb > 0)
         std::memcpy(b_panel.data(), b_block,
                     static_cast<size_t>(kb * sh.nb) * sizeof(T));
       col.bcast(b_panel.data(), kb * sh.nb, t);
-      overlap_budget += grid.last_op_cost();
+      if (sh.overlap) overlap_budget += grid.last_op_cost();
     }
     PhaseScope ps(grid, Phase::kCompute);
     gemm_blocked<T>(false, false, sh.mb, sh.nb, kb, T{1}, a_panel.data(), kb,

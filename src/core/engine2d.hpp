@@ -38,6 +38,9 @@ struct Engine2dShape {
   /// verify (correcting single-byte corruption) on receipt. Ignored by
   /// SUMMA. See Ca3dmmOptions::abft.
   bool abft = false;
+  /// Pipeline communication behind the local GEMM (dual-buffer overlap
+  /// budget). See Ca3dmmOptions::overlap.
+  bool overlap = true;
 
   i64 kb_total() const {
     i64 t = 0;

@@ -1,5 +1,6 @@
 #include "core/grid_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
@@ -142,6 +143,58 @@ ProcGrid find_grid(i64 m, i64 n, i64 k, int P, const GridOptions& opt) {
                          [&](const ProcGrid& g) {
                            return cannon_ok(g) && fits(g);
                          });
+}
+
+std::vector<ProcGrid> find_grid_candidates(i64 m, i64 n, i64 k, int P,
+                                           int count,
+                                           const GridOptions& opt) {
+  CA_REQUIRE(m > 0 && n > 0 && k > 0 && P > 0,
+             "find_grid_candidates needs positive dimensions, got m=%lld "
+             "n=%lld k=%lld P=%d",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k), P);
+  if (count <= 0) return {};
+  const i64 budget = opt.max_memory_elems;
+  const auto accept = [&](const ProcGrid& g) {
+    if (opt.cannon_compatible && !cannon_ok(g)) return false;
+    return budget <= 0 ||
+           grid_memory_elems(m, n, k, g) <= static_cast<double>(budget);
+  };
+
+  // Same enumeration bounds and utilization floor as enumerate_grids, but
+  // collecting every feasible grid instead of tracking the single best.
+  const auto clamp = [](i64 dim, int P_) {
+    return static_cast<int>(std::min<i64>(dim, P_));
+  };
+  const int pm_max = clamp(m, P), pn_max = clamp(n, P), pk_max = clamp(k, P);
+  int max_active = 0;
+  std::vector<std::pair<Fitness, ProcGrid>> all;
+  for (int pm = 1; pm <= pm_max; ++pm)
+    for (int pk = 1; pk <= pk_max && pk * pm <= P; ++pk) {
+      const int pn_lim = std::min(pn_max, P / (pm * pk));
+      for (int pn = 1; pn <= pn_lim; ++pn) {
+        ProcGrid g{pm, pn, pk};
+        if (!accept(g)) continue;
+        max_active = std::max(max_active, g.active());
+        all.emplace_back(fitness(m, n, k, g, opt.flop_word_ratio), g);
+      }
+    }
+  CA_REQUIRE(!all.empty(),
+             "no feasible process grid for P=%d under the given constraints "
+             "(memory budget too tight?)",
+             P);
+  const int min_active =
+      std::min(static_cast<int>(std::floor(opt.l * P)), max_active);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  std::vector<ProcGrid> out;
+  for (const auto& [f, g] : all) {
+    if (g.active() < min_active) continue;
+    out.push_back(g);
+    if (static_cast<int>(out.size()) == count) break;
+  }
+  return out;
 }
 
 ProcGrid find_grid_cosma(i64 m, i64 n, i64 k, int P, double l) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/partition.hpp"
 
@@ -88,6 +89,18 @@ double grid_memory_elems(i64 m, i64 n, i64 k, const ProcGrid& g);
 /// count, smaller surface with exact block sizes, smaller pk, smaller c,
 /// smaller pm).
 ProcGrid find_grid(i64 m, i64 n, i64 k, int P, const GridOptions& opt = {});
+
+/// Up to `count` distinct feasible grids ranked by the solver's fitness,
+/// best first — candidates[0] is exactly find_grid()'s choice. This is the
+/// auto-tuner's search neighbourhood around the eq.-solver optimum: the
+/// solver's objective is a flops-per-word heuristic, so grids it ranks
+/// second or third (different replication factor c, different pk) can win
+/// under the full per-phase cost model (costmodel::predict) on a concrete
+/// machine. Deterministic; same constraints (utilization, Cannon
+/// compatibility, memory budget) as find_grid.
+std::vector<ProcGrid> find_grid_candidates(i64 m, i64 n, i64 k, int P,
+                                           int count,
+                                           const GridOptions& opt = {});
 
 /// COSMA-style grid (paper §III-C): same enumeration without constraint (7),
 /// matching "find p_m x p_k x p_n s.t. m/p_m ~ k/p_k ~ n/p_n".

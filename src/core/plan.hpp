@@ -64,6 +64,13 @@ struct Ca3dmmOptions {
   /// for the SUMMA engine (collectives carry its panels, and the fault
   /// injector only corrupts point-to-point messages).
   bool abft = false;
+  /// Dual-buffer communication/computation overlap in the 2-D engine
+  /// (Cannon shifts and SUMMA panel broadcasts pipelined behind the local
+  /// GEMM). On — the paper's behaviour — by default; the tuner searches
+  /// both settings because overlap costs memory bandwidth the GEMM also
+  /// wants (Machine::overlap_efficiency) and the cost model prices the
+  /// trade both ways.
+  bool overlap = true;
 
   /// Member-wise equality: plans built from equal options on equal problem
   /// dimensions are interchangeable, which is what the engine's plan cache

@@ -23,6 +23,7 @@
 // rank computes bit-identical prices from its own oracle.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <tuple>
 
@@ -53,11 +54,23 @@ class CostOracle {
  public:
   CostOracle(int P, const simmpi::Machine& mach) : P_(P), mach_(mach) {}
 
-  /// Quotes `w` under `algo`, memoized by the workload's shape-relevant
-  /// fields (m, n, k, esize, layout, min_kblk, abft, force_grid). The coll
-  /// config is assumed fixed per oracle, matching one engine instance.
+  /// Quotes `w` under `algo`, memoized by the workload's cost-relevant
+  /// fields (m, n, k, esize, layout, min_kblk, abft, force_grid, the
+  /// collective schedule, and the overlap flag — the last three vary per
+  /// shape once a tuning DB feeds the service, see tuner/db.hpp).
   /// `w.warm_comms` is ignored: a quote always carries both paths.
   const Quote& quote(Algo algo, const Workload& w);
+
+  /// Drops every memoized quote for the exact shape (m, n, k), any algo /
+  /// config. Call when the configuration the engine would run that shape
+  /// with changes — e.g. the tuning DB updated its entry — so the next
+  /// quote re-prices under the new config. Returns entries erased.
+  i64 invalidate_shape(i64 m, i64 n, i64 k);
+
+  /// Drops every memoized quote whose (m, n, k) satisfies `pred`. Used for
+  /// tuning-key granularity (a key covers a bucket of shapes, not one
+  /// exact shape). Returns entries erased. Like quote(), not thread-safe.
+  i64 invalidate_if(const std::function<bool(i64 m, i64 n, i64 k)>& pred);
 
   int P() const { return P_; }
   const simmpi::Machine& machine() const { return mach_; }
@@ -65,9 +78,12 @@ class CostOracle {
   i64 evaluations() const { return evaluations_; }
 
  private:
-  using Key = std::tuple<int, i64, i64, i64, i64, bool, i64, bool, int, int,
-                         int>;  // algo, m, n, k, esize, layout, kblk, abft,
-                                // force pm/pn/pk (0,0,0 = none)
+  using Key =
+      std::tuple<int, i64, i64, i64, i64, bool, i64, bool, int, int, int, int,
+                 int, int, int, i64, bool>;
+  // algo, m, n, k, esize, layout, kblk, abft, force pm/pn/pk (0,0,0 = none),
+  // coll allgather/reduce_scatter/bcast/allreduce, small_message_bytes,
+  // overlap
 
   int P_;
   simmpi::Machine mach_;

@@ -97,6 +97,7 @@ RankStats run_workload(Algo algo, const Workload& w, Cluster& cl) {
   ca_opt.min_kblk = w.min_kblk;
   ca_opt.coll = w.coll;
   ca_opt.abft = w.abft;
+  ca_opt.overlap = w.overlap;
 
   switch (algo) {
     case Algo::kCa3dmm:

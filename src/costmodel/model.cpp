@@ -405,7 +405,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
               sim.charge(scan_t(kb * mb) + scan_t(kb_next * mb) +
                          scan_t(kb * nb) + scan_t(kb_next * nb));
             sim.charge(tA + tB);
-            budget += tA + tB;
+            if (w.overlap) budget += tA + tB;
           }
           if (aggregate) {
             agg_k += kb;
@@ -447,7 +447,8 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
           const double tB =
               t_broadcast(ll, static_cast<double>(kb * nb * esize), s);
           sim.charge(tA + tB);
-          sim.compute(mach, gemm_flops(mb, nb, kb), step_bytes(kb), tA + tB);
+          sim.compute(mach, gemm_flops(mb, nb, kb), step_bytes(kb),
+                      w.overlap ? tA + tB : 0.0);
         }
         sim.free(panels);
       }

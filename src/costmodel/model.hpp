@@ -36,6 +36,13 @@ enum class Algo {
 
 const char* algo_name(Algo a);
 
+/// Version of the analytic cost model. Bump whenever a change alters the
+/// numbers predict() produces (new cost term, changed formula, new machine
+/// parameter): the tuning database (tuner/db.hpp) stamps this into its file
+/// header and discards entries tuned under a different model, since their
+/// predicted/validated vtimes are no longer comparable.
+inline constexpr int kCostModelVersion = 1;
+
 struct Workload {
   i64 m = 0, n = 0, k = 0;
   /// false = library-native input/output layouts (Fig. 3 "native layout");
@@ -54,6 +61,10 @@ struct Workload {
   /// program points as the engine, so predictions (and the drift gate) stay
   /// exact for protected runs. Ignored by the other algorithms.
   bool abft = false;
+  /// Mirrors Ca3dmmOptions::overlap: when false, the 2-D engine does not
+  /// pipeline shift/broadcast transfers behind the local GEMM and the model
+  /// drops the corresponding overlap budgets. kCa3dmm/kCa3dmmSumma only.
+  bool overlap = true;
   /// Plan and split communicators already cached — the persistent engine's
   /// hit path (engine/engine.hpp). Zeroes the four per-plan communicator
   /// splits (world/cannon/replication/reduction) that PlanComms caches;

@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 namespace ca3dmm::engine {
@@ -25,6 +26,7 @@ size_t PgemmEngine::PlanKeyHash::operator()(const PlanKey& key) const {
   h = mix(h, std::hash<bool>{}(o.use_summa));
   h = mix(h, std::hash<i64>{}(o.min_kblk));
   h = mix(h, std::hash<bool>{}(o.abft));
+  h = mix(h, std::hash<bool>{}(o.overlap));
   h = mix(h, std::hash<double>{}(o.grid.l));
   h = mix(h, std::hash<bool>{}(o.grid.cannon_compatible));
   h = mix(h, std::hash<i64>{}(o.grid.max_memory_elems));
@@ -59,6 +61,57 @@ PgemmEngine::PgemmEngine(Comm& world, EngineConfig cfg)
   CA_REQUIRE(cfg_.plan_cache_capacity >= 1,
              "plan_cache_capacity must be >= 1, got %zu",
              cfg_.plan_cache_capacity);
+  // Initial snapshot of the tuning DB (see EngineConfig::tuning_db for the
+  // cross-rank consistency contract at construction time).
+  if (cfg_.tuning_db)
+    for (const tuner::TuningEntry& e : cfg_.tuning_db->entries())
+      tuned_view_[e.key] = e;
+}
+
+std::vector<tuner::TuningKey> PgemmEngine::refresh_tuning() {
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
+  simmpi::RankCtxScope adopt(owner_ctx_);
+  std::vector<tuner::TuningKey> changed;
+  if (!cfg_.tuning_db) return changed;
+  // Rank 0's view of the DB is the one everybody adopts: serialize under
+  // the DB's own lock, broadcast the bytes, parse locally. Snapshots are
+  // identical by construction even with a concurrent writer.
+  std::string blob;
+  if (world_.rank() == 0) blob = cfg_.tuning_db->serialize();
+  i64 sz = static_cast<i64>(blob.size());
+  world_.bcast(&sz, 1, 0);
+  blob.resize(static_cast<size_t>(sz));
+  if (sz > 0) world_.bcast_bytes(blob.data(), sz, 0);
+  tuner::TuningDb parsed;
+  std::map<tuner::TuningKey, tuner::TuningEntry> next;
+  if (parsed.deserialize(blob, "refresh_tuning broadcast"))
+    for (const tuner::TuningEntry& e : parsed.entries()) next[e.key] = e;
+  for (const auto& [key, e] : next) {
+    auto it = tuned_view_.find(key);
+    if (it == tuned_view_.end() || !(it->second == e)) changed.push_back(key);
+  }
+  for (const auto& [key, e] : tuned_view_)
+    if (next.find(key) == next.end()) changed.push_back(key);
+  tuned_view_ = std::move(next);
+  return changed;
+}
+
+const tuner::TuningEntry* PgemmEngine::tuned_entry_locked(
+    i64 m, i64 n, i64 k, const Ca3dmmOptions& opt) const {
+  if (!cfg_.tuning_db) return nullptr;
+  if (opt.force_grid || opt.coll || opt.use_summa) return nullptr;
+  const auto it = tuned_view_.find(
+      tuner::make_key(m, n, k, world_.size(), world_.machine()));
+  if (it == tuned_view_.end() || it->second.stale) return nullptr;
+  return &it->second;
+}
+
+std::optional<tuner::TunedConfig> PgemmEngine::tuned_for(
+    i64 m, i64 n, i64 k, const Ca3dmmOptions& opt) const {
+  std::lock_guard<simmpi::CoopMutex> lock(mu_);
+  const tuner::TuningEntry* e = tuned_entry_locked(m, n, k, opt);
+  if (!e) return std::nullopt;
+  return e->config;
 }
 
 PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
@@ -76,8 +129,31 @@ PgemmEngine::Entry& PgemmEngine::lookup(const PlanKey& key) {
   simmpi::trace_marker("engine:plan miss");
   Entry e;
   e.key = key;
+  // The cache stays keyed by the *requested* options (is_cached and the
+  // service's pricing see the request stream), but the plan itself is built
+  // from the tuning-DB config when a fresh entry covers this key.
+  Ca3dmmOptions build_opt = key.opt;
+  if (cfg_.tuning_db) {
+    const bool tunable =
+        !key.opt.force_grid && !key.opt.coll && !key.opt.use_summa;
+    const tuner::TuningEntry* te =
+        tuned_entry_locked(key.m, key.n, key.k, key.opt);
+    if (te) {
+      build_opt.force_grid = te->config.grid;
+      build_opt.coll = te->config.coll;
+      build_opt.overlap = te->config.overlap;
+      e.tuned = true;
+      e.tkey = te->key;
+      e.tuned_validated_s = te->validated_s;
+      ++stats_.tuned_plans;
+      simmpi::trace_marker("engine:plan tuned");
+    } else if (tunable && cfg_.tune_on_miss && world_.rank() == 0) {
+      cfg_.tuning_db->request_tune(key.m, key.n, key.k, key.nranks,
+                                   world_.machine());
+    }
+  }
   simmpi::trace_marker("engine:plan build");
-  e.plan = Ca3dmmPlan::make(key.m, key.n, key.k, key.nranks, key.opt);
+  e.plan = Ca3dmmPlan::make(key.m, key.n, key.k, key.nranks, build_opt);
   e.comms = PlanComms::make(world_, e.plan);
   const RankCoord co = e.plan.coord(world_.rank());
   e.splits_per_call =
@@ -147,6 +223,9 @@ void PgemmEngine::execute(Entry& entry, const Request<T>& req) {
   // PoolScope's destructor detaches the pool on any exit path, so an
   // aborted multiply cannot leave later allocations drawing from it.
   PoolScope scope(&pool_);
+  const bool observe =
+      entry.tuned && cfg_.tuned_stale_rtol > 0 && cfg_.tuning_db != nullptr;
+  const double t0 = observe ? world_.now() : 0;
   try {
     ca3dmm_multiply<T>(world_, entry.plan, entry.comms, req.trans_a,
                        req.trans_b, *req.a_layout, req.a, *req.b_layout,
@@ -169,6 +248,33 @@ void PgemmEngine::execute(Entry& entry, const Request<T>& req) {
     throw;
   }
   ++stats_.requests;
+  if (observe) {
+    // Executed-drift feedback (EngineConfig::tuned_stale_rtol): rank 0's
+    // measurement is broadcast so the staleness decision — which mutates
+    // shared cache state — is bit-identical on every rank.
+    double executed_s = world_.now() - t0;
+    world_.bcast(&executed_s, 1, 0);
+    const double ref = entry.tuned_validated_s;
+    if (ref > 0 && std::abs(executed_s - ref) / ref > cfg_.tuned_stale_rtol) {
+      const PlanKey key = entry.key;          // entry dies with the erase
+      const tuner::TuningKey tkey = entry.tkey;
+      if (world_.rank() == 0) {
+        cfg_.tuning_db->mark_stale(tkey);
+        if (cfg_.tune_on_miss)
+          cfg_.tuning_db->request_tune(key.m, key.n, key.k, key.nranks,
+                                       world_.machine());
+      }
+      auto vt = tuned_view_.find(tkey);
+      if (vt != tuned_view_.end()) vt->second.stale = true;
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+      ++stats_.plan_invalidations;
+      simmpi::trace_marker("engine:tuned stale");
+    }
+  }
 }
 
 template <typename T>

@@ -57,13 +57,16 @@
 
 #include <cstddef>
 #include <list>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ca3dmm.hpp"
 #include "simmpi/cluster.hpp"
 #include "simmpi/pool.hpp"
+#include "tuner/db.hpp"
 
 namespace ca3dmm::engine {
 
@@ -79,6 +82,32 @@ struct EngineConfig {
   /// the pool's high-water mark provably stays under
   /// max(budget, peak live bytes), the serving layer's zero-OOM bound.
   i64 pool_footprint_budget_bytes = 0;
+  /// Tuning database consulted on plan-cache miss (tuner/db.hpp); null =
+  /// no tuning, the engine always plans with the request's own options.
+  /// The engine never reads the DB on its execution path — it works from a
+  /// per-engine snapshot taken at construction and refreshed by
+  /// refresh_tuning() — so a background tuner may write concurrently.
+  /// Caller keeps the DB alive for the engine's lifetime; every rank's
+  /// engine must point at a DB with identical contents at construction
+  /// (same file, no writer racing construction) or call refresh_tuning()
+  /// before the first tunable request.
+  tuner::TuningDb* tuning_db = nullptr;
+  /// With a tuning_db: rank 0 enqueues every tunable plan-cache miss that
+  /// found no fresh DB entry (request_tune) so a background Tuner::drain
+  /// can tune it; the miss itself still runs on the heuristic.
+  bool tune_on_miss = false;
+  /// > 0 enables executed-drift feedback: after each multiply that ran a
+  /// tuned config, rank 0's executed vtime is broadcast and compared
+  /// against the entry's validated vtime; past this relative threshold the
+  /// key is marked stale in the DB (and re-tune requested under
+  /// tune_on_miss), the snapshot entry is disabled, and the cached plan
+  /// dropped — the next request falls back to the heuristic. Costs one
+  /// 8-byte broadcast per tuned multiply, so it is off (0) by default and
+  /// must stay off where quoted vtimes are exactness-gated (the service
+  /// layer). Executed time is a clock delta, so enable it only for
+  /// back-to-back streams on native layouts; skewed entry clocks inflate
+  /// the measurement.
+  double tuned_stale_rtol = 0;
 };
 
 /// Monotonic per-engine counters. Cache counters evolve identically on
@@ -99,6 +128,9 @@ struct EngineStats {
   /// Communicator splits avoided versus the one-shot path (each cache hit
   /// skips the active/cannon/replication/reduction splits of its plan).
   i64 splits_saved = 0;
+  /// Plan-cache misses whose plan was built from a tuning-DB entry instead
+  /// of the request's own options. Evolves identically on every rank.
+  i64 tuned_plans = 0;
   simmpi::PoolStats pool;   ///< buffer-pool snapshot (filled by stats())
 
   double plan_hit_rate() const {
@@ -172,6 +204,24 @@ class PgemmEngine {
   /// buffers. Purely local: no communication, no virtual-time charge.
   void clear();
 
+  /// Re-snapshots the tuning DB. Collective over world: rank 0 serializes
+  /// the DB (under its lock) and broadcasts the bytes, so every rank's
+  /// snapshot is identical by construction even with a tuner writing
+  /// concurrently — per-rank direct reads could observe different states
+  /// and diverge the collective plan build. Charges the broadcast's
+  /// virtual time; call it at stream boundaries, not inside priced
+  /// regions. Returns the keys whose entries changed (added, updated,
+  /// marked stale, or removed) — the service invalidates its CostOracle
+  /// quotes for exactly those. No-op without a tuning_db.
+  std::vector<tuner::TuningKey> refresh_tuning();
+
+  /// The tuned config the engine would apply to a plan-cache miss of this
+  /// request, from the current snapshot: set iff the request is tunable
+  /// (no force_grid, no coll, not SUMMA) and a fresh (non-stale) entry
+  /// covers its key. Purely local — safe for pricing, like is_cached().
+  std::optional<tuner::TunedConfig> tuned_for(
+      i64 m, i64 n, i64 k, const Ca3dmmOptions& opt = {}) const;
+
  private:
   struct PlanKey {
     i64 m = 0, n = 0, k = 0;
@@ -187,6 +237,9 @@ class PgemmEngine {
     Ca3dmmPlan plan;
     PlanComms comms;
     i64 splits_per_call = 0;  ///< one-shot splits this rank avoids per hit
+    bool tuned = false;       ///< plan built from a tuning-DB entry
+    tuner::TuningKey tkey{};  ///< the entry's key (valid when tuned)
+    double tuned_validated_s = 0;  ///< drift-feedback reference vtime
   };
 
   /// Returns the cache entry for the key, building plan + comms on a miss
@@ -198,6 +251,10 @@ class PgemmEngine {
 
   template <typename T>
   PlanKey key_of(const Request<T>& req) const;
+
+  /// Fresh snapshot entry covering a tunable request, else null. mu_ held.
+  const tuner::TuningEntry* tuned_entry_locked(i64 m, i64 n, i64 k,
+                                               const Ca3dmmOptions& opt) const;
 
   simmpi::Comm world_;
   EngineConfig cfg_;
@@ -216,6 +273,8 @@ class PgemmEngine {
   std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
   simmpi::BufferPool pool_;
   EngineStats stats_;
+  /// Per-engine snapshot of the tuning DB (see EngineConfig::tuning_db).
+  std::map<tuner::TuningKey, tuner::TuningEntry> tuned_view_;
 };
 
 }  // namespace ca3dmm::engine

@@ -80,6 +80,34 @@ PgemmService::PgemmService(Comm& world, const ServiceConfig& cfg)
     CA_REQUIRE(t.max_queue >= 1, "tenant '%s' needs max_queue >= 1",
                t.name.c_str());
   }
+  if (cfg_.engine.tuning_db)
+    tuning_listener_ = cfg_.engine.tuning_db->add_listener(
+        [this](const tuner::TuningEntry& e) {
+          std::lock_guard<std::mutex> lock(tuning_mu_);
+          tuning_changed_.push_back(e.key);
+        });
+}
+
+PgemmService::~PgemmService() {
+  if (tuning_listener_ >= 0)
+    cfg_.engine.tuning_db->remove_listener(tuning_listener_);
+}
+
+std::vector<tuner::TuningKey> PgemmService::refresh_tuning() {
+  std::vector<tuner::TuningKey> changed = engine_.refresh_tuning();
+  {
+    std::lock_guard<std::mutex> lock(tuning_mu_);
+    changed.insert(changed.end(), tuning_changed_.begin(),
+                   tuning_changed_.end());
+    tuning_changed_.clear();
+  }
+  // A tuning key covers a bucket of shapes; drop every memoized quote whose
+  // shape the changed key covers (duplicates are idempotent).
+  for (const tuner::TuningKey& key : changed)
+    oracle_.invalidate_if([&](i64 m, i64 n, i64 k) {
+      return tuner::make_key(m, n, k, oracle_.P(), oracle_.machine()) == key;
+    });
+  return changed;
 }
 
 Workload PgemmService::workload_of(const ServiceRequest& r) const {
@@ -87,7 +115,16 @@ Workload PgemmService::workload_of(const ServiceRequest& r) const {
   w.force_grid = r.opt.force_grid;
   w.min_kblk = r.opt.min_kblk;
   w.abft = r.opt.abft;
+  w.overlap = r.opt.overlap;
   if (r.opt.coll) w.coll = *r.opt.coll;
+  // Mirror the engine's tuning snapshot: a tunable request plans under the
+  // tuned config on its cache miss, so it must be priced under it too —
+  // the quote/execution exactness gate depends on the two never diverging.
+  if (const auto tuned = engine_.tuned_for(r.m, r.n, r.k, r.opt)) {
+    w.force_grid = tuned->grid;
+    w.coll = tuned->coll;
+    w.overlap = tuned->overlap;
+  }
   return w;
 }
 
@@ -142,6 +179,7 @@ double PgemmService::dispatch(const ServiceRequest& r, double* predicted_out) {
 ServiceReport PgemmService::serve(const std::vector<ServiceRequest>& load,
                                   const std::vector<RequestRecord>& journal,
                                   std::vector<RequestRecord>* journal_out) {
+  if (cfg_.engine.tuning_db) refresh_tuning();
   const int nt = static_cast<int>(cfg_.tenants.size());
 
   // --- per-tenant runtime state ---

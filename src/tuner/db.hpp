@@ -1,0 +1,182 @@
+// Persisted, versioned tuning database.
+//
+// The Tuner (tuner.hpp) searches configurations per (shape-class, topology)
+// key and records the winner here; PgemmEngine consults a snapshot of this
+// DB on plan-cache miss (engine/engine.hpp). The DB is the only component
+// that outlives a process: it serializes deterministically to a small text
+// file, so a DB warmed once (CI, a tools/tune run, a shipped artifact) keeps
+// paying off across runs — the NCCL-tuner model (SNIPPETS.md snippet 2).
+//
+// Keys quantize (m, n, k) into half-octave (sqrt-2-spaced) buckets and pin
+// the rank count and machine topology (ranks per node, GPU offload): a
+// tuned decision transfers to shapes of the same class on the same
+// topology, but never across topologies. Element size is not part of the
+// key; entries are tuned at esize 8 and the config transfers (grid and
+// schedule choices scale with bytes, which scale linearly in esize).
+//
+// Versioning: the file header carries a schema version and the cost-model
+// version (costmodel::kCostModelVersion). A file written by a different
+// schema, a different cost model, or corrupted/truncated on disk is
+// *ignored with a warning* — the engine then falls back to its heuristic
+// and the tuner re-tunes from scratch. A tuning DB is a cache; it must
+// never be able to break a run.
+//
+// Thread-safety: all methods are safe to call concurrently (one internal
+// mutex). Update listeners fire on the mutating thread after the lock is
+// released. The engine never reads the DB on its hot path — it works from
+// a per-engine snapshot refreshed collectively (PgemmEngine::refresh_tuning)
+// — so a background tuner thread can write while engines execute.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/grid_solver.hpp"
+#include "simmpi/coll_cost.hpp"
+#include "simmpi/machine.hpp"
+
+namespace ca3dmm::tuner {
+
+/// The configuration a tuning entry prescribes: everything the tuner
+/// searches over. c (replication) and s follow from the grid.
+struct TunedConfig {
+  ProcGrid grid{};
+  simmpi::CollectiveConfig coll = simmpi::CollectiveConfig::tuned();
+  bool overlap = true;
+
+  friend bool operator==(const TunedConfig&, const TunedConfig&) = default;
+};
+
+/// (shape-class, topology) key. Shapes are quantized per dimension into
+/// half-octave buckets: bucket q covers [2^(q/2), 2^((q+1)/2)).
+struct TuningKey {
+  int qm = 0;  ///< shape_bucket(m)
+  int qn = 0;  ///< shape_bucket(n)
+  int qk = 0;  ///< shape_bucket(k)
+  int nranks = 0;
+  int ranks_per_node = 0;
+  bool gpu = false;
+
+  auto tie() const {
+    return std::tie(qm, qn, qk, nranks, ranks_per_node, gpu);
+  }
+  friend bool operator<(const TuningKey& a, const TuningKey& b) {
+    return a.tie() < b.tie();
+  }
+  friend bool operator==(const TuningKey& a, const TuningKey& b) {
+    return a.tie() == b.tie();
+  }
+};
+
+/// Half-octave bucket index of a dimension extent (d >= 1).
+int shape_bucket(i64 d);
+/// True iff extent d falls in bucket q (for oracle invalidation predicates).
+bool bucket_matches(int q, i64 d);
+
+TuningKey make_key(i64 m, i64 n, i64 k, int nranks,
+                   const simmpi::Machine& mach);
+
+/// One tuned decision plus the evidence behind it.
+struct TuningEntry {
+  TuningKey key{};
+  /// The representative shape the search actually ran on (the first shape
+  /// of the class the tuner saw).
+  i64 rep_m = 0, rep_n = 0, rep_k = 0;
+  TunedConfig config{};
+  double predicted_s = 0;  ///< costmodel::predict of the winner
+  /// Executed virtual time of the winner's traced validation run; 0 when
+  /// the tuner ran in predict-only mode (TunerOptions::validate = false).
+  double validated_s = 0;
+  /// Executed (or, in predict-only mode, predicted) vtime of the auto
+  /// heuristic baseline the winner was required to beat-or-match.
+  double baseline_s = 0;
+  i64 candidates_pruned = 0;     ///< rejected on predictions alone
+  i64 candidates_validated = 0;  ///< finalists run for real
+  /// Set when executed-vtime feedback drifted past the staleness threshold
+  /// (observe_executed); a stale entry is ignored by the engine and
+  /// re-tuned on the next Tuner::drain.
+  bool stale = false;
+
+  friend bool operator==(const TuningEntry&, const TuningEntry&) = default;
+};
+
+/// A shape whose tuning was requested (engine miss with tune_on_miss, or a
+/// stale entry) but not performed yet.
+struct PendingTune {
+  i64 m = 0, n = 0, k = 0;
+  int nranks = 0;
+};
+
+class TuningDb {
+ public:
+  /// `path` is the backing file for load()/save() without arguments; empty
+  /// = in-memory only. Construction does NOT load — call load() so the
+  /// caller sees whether the file was usable.
+  explicit TuningDb(std::string path = "") : path_(std::move(path)) {}
+
+  // ---- lookups / mutation (thread-safe) ----
+  std::optional<TuningEntry> find(const TuningKey& key) const;
+  /// Inserts or replaces the entry for entry.key and fires listeners.
+  void put(const TuningEntry& entry);
+  /// Marks the key stale (no-op if absent or already stale); fires
+  /// listeners when the entry actually changed. Returns true iff changed.
+  bool mark_stale(const TuningKey& key);
+  /// Drift feedback: compares an executed vtime against the entry's
+  /// validated (or predicted) vtime and marks the entry stale when the
+  /// relative difference exceeds rtol. Returns true iff it went stale.
+  bool observe_executed(const TuningKey& key, double executed_s, double rtol);
+  std::vector<TuningEntry> entries() const;  ///< sorted by key
+  size_t size() const;
+  void clear();
+
+  // ---- pending-tune queue (tune_on_miss) ----
+  /// Enqueues a shape for background tuning; deduplicated by tuning key.
+  void request_tune(i64 m, i64 n, i64 k, int nranks,
+                    const simmpi::Machine& mach);
+  /// Drains the queue (Tuner::drain's input). Deterministic order.
+  std::vector<PendingTune> take_pending();
+  size_t pending() const;
+
+  // ---- update listeners ----
+  /// Registers a callback fired after every put()/mark_stale() that changed
+  /// an entry (the service uses this to invalidate CostOracle quotes).
+  /// Returns an id for remove_listener.
+  int add_listener(std::function<void(const TuningEntry&)> fn);
+  void remove_listener(int id);
+
+  // ---- persistence ----
+  /// Deterministic text serialization: versioned header + one line per
+  /// entry, sorted by key. Byte-identical for equal contents.
+  std::string serialize() const;
+  /// Parses `blob`, replacing the current contents on success. On any
+  /// mismatch (schema version, cost-model version, malformed or truncated
+  /// input) leaves the DB unchanged, emits one warning on stderr when
+  /// `warn` names the source, and returns false.
+  bool deserialize(const std::string& blob, const char* warn = nullptr);
+  bool load() { return load(path_); }
+  bool load(const std::string& path);
+  bool save() const { return save(path_); }
+  bool save(const std::string& path) const;
+  const std::string& path() const { return path_; }
+
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  void fire(const TuningEntry& entry);  ///< call without holding mu_
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<TuningKey, TuningEntry> entries_;
+  std::vector<PendingTune> pending_;
+  std::map<int, std::function<void(const TuningEntry&)>> listeners_;
+  int next_listener_ = 0;
+};
+
+const char* coll_algo_token(simmpi::CollAlgo a);  ///< stable short name
+
+}  // namespace ca3dmm::tuner
