@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "simmpi/cluster.hpp"
 #include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
+#include "simmpi/topology.hpp"
 
 namespace ca3dmm::bench {
 
@@ -246,6 +248,84 @@ inline void parse_service_flags(int* argc, char** argv) {
   *argc = out;
 }
 
+/// Topology selected by `--topology <spec>`; nullopt = the bench's default
+/// (usually homogeneous). Benches that execute on a Cluster construct it
+/// from this when set, so any bench can be replayed on a heterogeneous
+/// multi-cluster machine model.
+inline std::optional<simmpi::Topology>& bench_topology() {
+  static std::optional<simmpi::Topology> topo;
+  return topo;
+}
+
+/// Parses a topology spec into a Topology. Grammar:
+///
+///   spec     :=  cluster(+cluster)*[@alpha,bandwidth]
+///   cluster  :=  preset:nranks
+///   preset   :=  mpi | hybrid | gpu | unit      (Machine presets)
+///
+/// e.g. `mpi:192+gpu:16@5e-6,5e9` — 192 phoenix_mpi ranks and 16
+/// phoenix_gpu ranks joined by a 5 us / 5 GB/s inter-cluster link. Aborts
+/// with a usage message on malformed specs (a silently ignored topology
+/// flag would make a "heterogeneous" bench result meaningless).
+inline simmpi::Topology parse_topology_spec(const char* spec) {
+  const auto die = [spec]() {
+    std::fprintf(stderr,
+                 "unrecognized --topology '%s'\n"
+                 "expected PRESET:NRANKS[+PRESET:NRANKS...][@ALPHA,BANDWIDTH] "
+                 "with preset mpi|hybrid|gpu|unit\n",
+                 spec);
+    std::exit(2);
+  };
+  std::vector<simmpi::ClusterSpec> clusters;
+  simmpi::InterClusterLink link;
+  std::string s(spec);
+  const size_t at = s.find('@');
+  if (at != std::string::npos) {
+    if (std::sscanf(s.c_str() + at + 1, "%lf,%lf", &link.alpha,
+                    &link.bandwidth) != 2 ||
+        link.alpha < 0 || link.bandwidth <= 0)
+      die();
+    s.resize(at);
+  }
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find('+', pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string part = s.substr(pos, end - pos);
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) die();
+    const std::string preset = part.substr(0, colon);
+    const int nranks = std::atoi(part.c_str() + colon + 1);
+    if (nranks <= 0) die();
+    simmpi::Machine mach;
+    if (preset == "mpi") mach = simmpi::Machine::phoenix_mpi();
+    else if (preset == "hybrid") mach = simmpi::Machine::phoenix_hybrid();
+    else if (preset == "gpu") mach = simmpi::Machine::phoenix_gpu();
+    else if (preset == "unit") mach = simmpi::Machine::unit_test();
+    else die();
+    clusters.push_back(simmpi::ClusterSpec{preset, mach, nranks});
+    pos = end + 1;
+  }
+  if (clusters.empty()) die();
+  return simmpi::Topology::make(std::move(clusters), link);
+}
+
+/// Parses and strips `--topology SPEC` (space- or =-separated) before
+/// google-benchmark sees argv.
+inline void parse_topology_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < *argc) {
+      bench_topology() = parse_topology_spec(argv[++i]);
+    } else if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      bench_topology() = parse_topology_spec(argv[i] + 11);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 /// Path of the tuning DB selected by `--tuning-db <path>`; empty = no DB.
 /// Benches that construct a PgemmEngine load it and pass it through
 /// EngineConfig::tuning_db so bench runs exercise tuned plans the same way
@@ -278,6 +358,7 @@ inline int run_bench_main(int argc, char** argv,
   parse_service_flags(&argc, argv);
   parse_backend_flags(&argc, argv);
   parse_tuning_db_flags(&argc, argv);
+  parse_topology_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

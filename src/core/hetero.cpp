@@ -1,0 +1,71 @@
+#include "core/hetero.hpp"
+
+#include <algorithm>
+
+namespace ca3dmm {
+
+using simmpi::Topology;
+
+bool grid_aligned_with_clusters(const Topology& topo, const ProcGrid& g) {
+  const int gsz = g.pm * g.pn;
+  const int active = std::min(g.active(), topo.nranks());
+  // Cluster boundaries are cumulative rank counts (clusters own contiguous
+  // rank ranges); a boundary strictly inside the active range must fall on
+  // a k-task-group boundary.
+  int cum = 0;
+  for (int c = 0; c < topo.nclusters(); ++c) {
+    cum += topo.cluster(c).nranks;
+    if (cum >= active) break;
+    if (cum % gsz != 0) return false;
+  }
+  return true;
+}
+
+std::vector<double> k_group_weights(const Topology& topo, const ProcGrid& g) {
+  const int gsz = g.pm * g.pn;
+  std::vector<double> w(static_cast<size_t>(g.pk), 0.0);
+  for (int gk = 0; gk < g.pk; ++gk) {
+    double slowest = 0;
+    for (int r = gk * gsz; r < (gk + 1) * gsz; ++r) {
+      const double f =
+          topo.machine_of_rank(std::min(r, topo.nranks() - 1)).rank_flops();
+      slowest = gk * gsz == r ? f : std::min(slowest, f);
+    }
+    w[static_cast<size_t>(gk)] = slowest;
+  }
+  return w;
+}
+
+Ca3dmmOptions make_hetero_options(const Topology& topo, i64 m, i64 n, i64 k,
+                                  int P, const GridOptions& grid) {
+  CA_REQUIRE(P >= 1 && P <= topo.nranks(),
+             "make_hetero_options: P=%d outside [1, %d]", P, topo.nranks());
+  Ca3dmmOptions opt;
+  opt.grid = grid;
+  if (topo.single_cluster()) return opt;  // homogeneous: nothing to weight
+
+  // Prefer a grid whose k-task groups align with the cluster boundaries, so
+  // every group is priced (and weighted) by exactly one machine. The
+  // solver's best candidate wins ties; misaligned fallback still benefits
+  // from min-rate weighting, just less sharply.
+  const std::vector<ProcGrid> cands = find_grid_candidates(m, n, k, P, 32, grid);
+  CA_REQUIRE(!cands.empty(), "no feasible grid for m=%lld n=%lld k=%lld P=%d",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k), P);
+  const ProcGrid* pick = nullptr;
+  for (const ProcGrid& g : cands)
+    if (g.pk > 1 && grid_aligned_with_clusters(topo, g)) {
+      pick = &g;
+      break;
+    }
+  if (pick == nullptr) pick = &cands.front();
+  opt.force_grid = *pick;
+
+  std::vector<double> w = k_group_weights(topo, *pick);
+  const bool uniform =
+      std::all_of(w.begin(), w.end(), [&](double x) { return x == w[0]; });
+  if (!uniform) opt.k_weights = std::move(w);
+  return opt;
+}
+
+}  // namespace ca3dmm

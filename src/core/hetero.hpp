@@ -1,0 +1,47 @@
+// Heterogeneity-aware planning over a multi-cluster Topology.
+//
+// CA3DMM's grid solver assumes every process computes at the same rate. On
+// a heterogeneous Topology (e.g. a CPU cluster joined to a GPU cluster)
+// that assumption makes the fastest ranks idle at every reduce: each k-task
+// group gets k/pk columns regardless of what its ranks can sustain.
+//
+// make_hetero_options exploits the one degree of freedom that changes
+// nothing about the computed C: the k split across k-task groups
+// (Ca3dmmOptions::k_weights). It
+//
+//   1. picks, from the solver's top candidates, a grid whose k-task groups
+//      (contiguous blocks of pm*pn ranks) align with the cluster
+//      boundaries, so no group straddles the inter-cluster link, and
+//   2. sizes each group's k slice proportionally to its sustained rate —
+//      the *minimum* rank_flops() over the group's ranks, since the even
+//      m/n partition inside a group makes its slowest rank the gate.
+//
+// The result is bit-identical to the homogeneous plan's C (the m/n block
+// ranges and reduction order are untouched); only the per-group work —
+// and hence the executed virtual time — changes.
+#pragma once
+
+#include "core/plan.hpp"
+#include "simmpi/topology.hpp"
+
+namespace ca3dmm {
+
+/// Options for an (m x k) x (k x n) product on the first P ranks of `topo`
+/// (P <= topo.nranks()). On a single-cluster (homogeneous) topology this
+/// returns default options — the caller loses nothing by calling it
+/// unconditionally. `grid` carries the solver constraints to respect.
+Ca3dmmOptions make_hetero_options(const simmpi::Topology& topo, i64 m, i64 n,
+                                  i64 k, int P, const GridOptions& grid = {});
+
+/// Per-k-task-group compute weights for `g` on `topo`: entry gk is the
+/// minimum rank_flops() over the ranks of k-task group gk (contiguous
+/// blocks of pm*pn ranks). Exposed for tests and the cost model.
+std::vector<double> k_group_weights(const simmpi::Topology& topo,
+                                    const ProcGrid& g);
+
+/// True iff no k-task group of `g` (contiguous blocks of pm*pn active
+/// ranks) straddles a cluster boundary of `topo`.
+bool grid_aligned_with_clusters(const simmpi::Topology& topo,
+                                const ProcGrid& g);
+
+}  // namespace ca3dmm

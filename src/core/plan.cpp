@@ -39,7 +39,39 @@ Ca3dmmPlan Ca3dmmPlan::make(i64 m, i64 n, i64 k, int nranks,
     // process grid").
     p.grid_ = find_grid(m, n, k, nranks, opt.grid);
   }
+  if (!opt.k_weights.empty()) {
+    CA_REQUIRE(static_cast<int>(opt.k_weights.size()) == p.grid_.pk,
+               "k_weights has %d entries but the grid has pk=%d k-task "
+               "groups",
+               static_cast<int>(opt.k_weights.size()), p.grid_.pk);
+    for (size_t g = 0; g < opt.k_weights.size(); ++g)
+      CA_REQUIRE(opt.k_weights[g] > 0, "k_weights[%zu] = %g must be > 0", g,
+                 opt.k_weights[g]);
+  }
   return p;
+}
+
+Range Ca3dmmPlan::k_range(int gk) const {
+  const std::vector<double>& w = opt_.k_weights;
+  if (w.empty()) return block_range(k_, grid_.pk, gk);
+  CA_ASSERT(gk >= 0 && gk < grid_.pk);
+  double total = 0;
+  for (const double x : w) total += x;
+  // Cumulative rounding: bound(g) = round(k * prefix_g / total). The prefix
+  // sums are nondecreasing, so consecutive bounds never cross and the pk
+  // slices tile [0, k) exactly.
+  double prefix = 0;
+  i64 lo = 0;
+  for (int g = 0; g <= gk; ++g) {
+    lo = g == 0 ? 0 : static_cast<i64>(std::llround(
+                          static_cast<double>(k_) * prefix / total));
+    prefix += w[static_cast<size_t>(g)];
+  }
+  const i64 hi = gk + 1 == grid_.pk
+                     ? k_
+                     : static_cast<i64>(std::llround(
+                           static_cast<double>(k_) * prefix / total));
+  return Range{lo, hi};
 }
 
 RankCoord Ca3dmmPlan::coord(int world_rank) const {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/grid_solver.hpp"
 #include "layout/block_layout.hpp"
@@ -71,6 +72,15 @@ struct Ca3dmmOptions {
   /// wants (Machine::overlap_efficiency) and the cost model prices the
   /// trade both ways.
   bool overlap = true;
+  /// Per-k-task-group compute weights for heterogeneous topologies: entry
+  /// gk sizes k-task group gk's k slice proportionally (weights need not be
+  /// normalized). Empty (the default) = the homogeneous equal split. Must
+  /// be empty or have exactly pk positive entries; use
+  /// make_hetero_options (core/hetero.hpp) to derive them from a Topology.
+  /// Affects only the k partitioning — the m/n block ranges and the Cannon
+  /// structure inside each k-task group are unchanged, so the computed C is
+  /// bit-identical to the unweighted plan's.
+  std::vector<double> k_weights{};
 
   /// Member-wise equality: plans built from equal options on equal problem
   /// dimensions are interchangeable, which is what the engine's plan cache
@@ -116,8 +126,11 @@ class Ca3dmmPlan {
   Range m_range(int I) const { return block_range(m_, grid_.pm, I); }
   Range n_range(int J) const { return block_range(n_, grid_.pn, J); }
   /// k-range of k-task group gk (paper: each group computes a
-  /// rank-(k/pk) update).
-  Range k_range(int gk) const { return block_range(k_, grid_.pk, gk); }
+  /// rank-(k/pk) update). With Ca3dmmOptions::k_weights set, group gk's
+  /// slice is proportional to its weight (cumulative rounding, so slices
+  /// tile [0, k) exactly); kpart/ksub and the native layouts all derive
+  /// from this range, so the weighting propagates through the whole plan.
+  Range k_range(int gk) const;
   /// Cannon k-part t (in [0, s)) of k-task group gk.
   Range kpart(int gk, int t) const;
   /// Replication slice g (in [0, c)) of Cannon k-part t.

@@ -98,6 +98,7 @@ RankStats run_workload(Algo algo, const Workload& w, Cluster& cl) {
   ca_opt.coll = w.coll;
   ca_opt.abft = w.abft;
   ca_opt.overlap = w.overlap;
+  ca_opt.k_weights = w.k_weights;
 
   switch (algo) {
     case Algo::kCa3dmm:
@@ -187,7 +188,7 @@ RankStats run_workload(Algo algo, const Workload& w, Cluster& cl) {
 DriftReport check_drift(Algo algo, const Workload& w, Cluster& cl,
                         const DriftOptions& opts) {
   const RankStats executed = run_workload(algo, w, cl);
-  const Prediction pred = predict(algo, w, cl.nranks(), cl.machine());
+  const Prediction pred = predict(algo, w, cl.nranks(), cl.topology());
   return drift_report(pred, executed, opts);
 }
 

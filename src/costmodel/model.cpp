@@ -16,6 +16,7 @@ using simmpi::GroupProfile;
 using simmpi::LinkParams;
 using simmpi::Machine;
 using simmpi::Phase;
+using simmpi::Topology;
 
 const char* algo_name(Algo a) {
   switch (a) {
@@ -84,11 +85,20 @@ struct GroupInfo {
   LinkParams link;
 };
 
-GroupInfo info_of(const Machine& mach, const std::vector<int>& ranks) {
+/// Topology-aware: exact node multiset, per-cluster parts,
+/// inter-cluster link — what the engine's CommState::create builds, so the
+/// schedule-aware costs below price exactly what the engine charges.
+GroupInfo info_of(const Topology& topo, const std::vector<int>& ranks) {
   GroupInfo gi;
-  gi.prof = GroupProfile::from_world_ranks(mach, ranks);
-  gi.link = group_link(mach, gi.prof);
+  gi.prof = GroupProfile::from_topology(topo, ranks);
+  gi.link = group_link(topo.machine(), gi.prof);
   return gi;
+}
+
+GroupInfo info_range(const Topology& topo, int lo, int count) {
+  std::vector<int> r(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) r[static_cast<size_t>(i)] = lo + i;
+  return info_of(topo, r);
 }
 
 LinkParams link_range(const Machine& mach, int lo, int count) {
@@ -99,6 +109,18 @@ LinkParams link_range(const Machine& mach, int lo, int count) {
 
 bool same_node(const Machine& mach, int a, int b) {
   return mach.node_of_rank(a) == mach.node_of_rank(b);
+}
+
+/// The engine's sendrecv exchange of `bytes` between rank r and its two ring
+/// peers (receive from src, send to dst): with equal entry clocks every rank
+/// advances by the slower of the two channel costs. Reduces to the old
+/// single t_p2p charge when both channels share a link class (homogeneous
+/// contiguous groups), and prices cross-node / cross-cluster channels
+/// individually otherwise.
+double t_exchange(const Topology& topo, int r, int src, int dst,
+                  double bytes) {
+  return std::max(simmpi::t_p2p_ranks(topo, src, r, bytes),
+                  simmpi::t_p2p_ranks(topo, r, dst, bytes));
 }
 
 int wrap(int v, int s) { return ((v % s) + s) % s; }
@@ -143,6 +165,19 @@ RedistCost redist_cost(const Machine& mach, const LinkParams& world_link,
   return rc;
 }
 
+/// Topology-aware variant: anchor machine + the world group's exact profile
+/// (mirrors the engine's alltoallv cost call on the world communicator).
+RedistCost redist_cost(const Topology& topo, const GroupInfo& world, int P,
+                       const BlockLayout& src, const BlockLayout& dst) {
+  RedistCost rc;
+  rc.vol = redistribution_volume(src, dst, false, 8);
+  const double mx = static_cast<double>(
+      std::max(rc.vol.max_send_bytes, rc.vol.max_recv_bytes));
+  rc.t = t_alltoallv_machine(topo.machine(), world.link, mx, P,
+                             world.prof.single_node);
+  return rc;
+}
+
 /// Runs the staging-buffer + alltoallv pattern of redistribute<T>().
 void sim_redistribute(RankSim& sim, const RedistCost& rc, int r) {
   sim.alloc(rc.vol.send_staging_bytes[static_cast<size_t>(r)]);
@@ -160,13 +195,18 @@ double split_cost(const LinkParams& l, int p) {
 // CA3DMM
 // ------------------------------------------------------------------
 
-Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
+Prediction predict_ca3dmm(const Workload& w, int P, const Topology& topo,
                           bool use_summa) {
+  // The anchor machine: what the engine passes to every coll_*_cost call
+  // (cluster 0 of the topology). Per-rank compute rates come from
+  // topo.machine_of_rank below, exactly like Comm::my_machine().
+  const Machine& mach = topo.machine();
   Ca3dmmOptions opt;
   opt.force_grid = w.force_grid;
   opt.min_kblk = w.min_kblk;
   opt.use_summa = use_summa;
   opt.abft = w.abft;
+  opt.k_weights = w.k_weights;
   const Ca3dmmPlan plan = Ca3dmmPlan::make(w.m, w.n, w.k, P, opt);
   const int s = plan.s(), c = plan.c(), pk = plan.grid().pk;
   const int active = plan.active();
@@ -177,18 +217,19 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
   const BlockLayout c_nat = plan.c_native();
   const UserLayouts ul = user_layouts(w, P, a_nat, b_nat, c_nat);
 
-  const LinkParams world_link = link_range(mach, 0, P);
-  const LinkParams active_link = link_range(mach, 0, active);
-  const RedistCost rA = redist_cost(mach, world_link, P, ul.a, a_nat);
-  const RedistCost rB = redist_cost(mach, world_link, P, ul.b, b_nat);
-  const RedistCost rC = redist_cost(mach, world_link, P, c_nat, ul.c);
+  const GroupInfo world_info = info_range(topo, 0, P);
+  const GroupInfo active_info = info_range(topo, 0, active);
+  const LinkParams& world_link = world_info.link;
+  const RedistCost rA = redist_cost(topo, world_info, P, ul.a, a_nat);
+  const RedistCost rB = redist_cost(topo, world_info, P, ul.b, b_nat);
+  const RedistCost rC = redist_cost(topo, world_info, P, c_nat, ul.c);
   // Warm engine path: the four PlanComms splits are cached, so their
   // latency vanishes from the prediction (the SUMMA row/col splits below
   // are per-call in the executable too and keep charging).
   const double t_split_world =
       w.warm_comms ? 0.0 : split_cost(world_link, P);
   const double t_split_active =
-      w.warm_comms ? 0.0 : split_cost(active_link, active);
+      w.warm_comms ? 0.0 : split_cost(active_info.link, active);
 
   // Pre-compute group links (shared by all members of a group). The repl
   // and reduce groups keep their GroupProfile: the schedule-aware costs
@@ -202,7 +243,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
       if (!repl_infos.count(key)) {
         std::vector<int> mem;
         for (int g = 0; g < c; ++g) mem.push_back(plan.rank_of(co.gk, g, co.i, co.j));
-        repl_infos[key] = info_of(mach, mem);
+        repl_infos[key] = info_of(topo, mem);
       }
     }
     if (pk > 1) {
@@ -210,25 +251,25 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
       if (!reduce_infos.count(key)) {
         std::vector<int> mem;
         for (int g = 0; g < pk; ++g) mem.push_back(plan.rank_of(g, co.gc, co.i, co.j));
-        reduce_infos[key] = info_of(mach, mem);
+        reduce_infos[key] = info_of(topo, mem);
       }
     }
     const int ckey = co.gk * c + co.gc;
     if (!cannon_links.count(ckey))
-      cannon_links[ckey] = link_range(mach, plan.rank_of(co.gk, co.gc, 0, 0),
-                                      s * s);
+      cannon_links[ckey] =
+          info_range(topo, plan.rank_of(co.gk, co.gc, 0, 0), s * s).link;
     if (use_summa) {
       const int rkey = (co.gk * c + co.gc) * s + co.i;  // row: fixed i
       if (!row_links.count(rkey)) {
         std::vector<int> mem;
         for (int j = 0; j < s; ++j) mem.push_back(plan.rank_of(co.gk, co.gc, co.i, j));
-        row_links[rkey] = link_of(mach, mem);
+        row_links[rkey] = info_of(topo, mem).link;
       }
       const int lkey = (co.gk * c + co.gc) * s + co.j;  // col: fixed j
       if (!col_links.count(lkey)) {
         std::vector<int> mem;
         for (int i = 0; i < s; ++i) mem.push_back(plan.rank_of(co.gk, co.gc, i, co.j));
-        col_links[lkey] = link_of(mach, mem);
+        col_links[lkey] = info_of(topo, mem).link;
       }
     }
   }
@@ -236,10 +277,16 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
   Prediction p;
   p.grid = plan.grid();
   p.active = active;
+  double lb_max = 0, lb_sum = 0;
+  int lb_n = 0;
 
   for (int r = 0; r < P; ++r) {
     RankSim sim;
     const RankCoord co = plan.coord(r);
+    // Per-rank machine: compute (and local memory scans) are priced at the
+    // rank's own cluster rate; collective formulas keep the anchor machine,
+    // mirroring the engine's anchor convention.
+    const Machine& rm = topo.machine_of_rank(r);
 
     // ---- redistribution of A and B (all ranks) ----
     sim.cur = Phase::kRedistribute;
@@ -305,7 +352,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
         return kparts[static_cast<size_t>(wrap(t, s))];
       };
       if (s == 1) {
-        sim.compute(mach, gemm_flops(mb, nb, kpart_of(0)),
+        sim.compute(rm, gemm_flops(mb, nb, kpart_of(0)),
                     gemm_bytes(mb, nb, kpart_of(0), esize), 0.0);
         sim.free(a_live);
         sim.free(b_live);
@@ -323,7 +370,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
         };
         auto scan_t = [&](i64 payload_elems) {
           return static_cast<double>(payload_elems * esize) /
-                 mach.intra_rank_bandwidth();
+                 rm.intra_rank_bandwidth();
         };
         const i64 bufs = 2 * (mb * kb_max + tre(mb * kb_max)) * esize +
                          2 * (kb_max * nb + tre(kb_max * nb)) * esize;
@@ -342,8 +389,8 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
             sim.alloc((paS + tre(paS)) * esize);  // staging
             sim.charge(scan_t(paS));              // encode
           }
-          sim.charge(t_p2p(mach, static_cast<double>((bA + tre(bA)) * esize),
-                           same_node(mach, r, srcA) && same_node(mach, r, dstA)));
+          sim.charge(t_exchange(topo, r, srcA, dstA,
+                                static_cast<double>((bA + tre(bA)) * esize)));
           if (w.abft) {
             sim.charge(scan_t(paR));              // decode
             sim.free((paS + tre(paS)) * esize);
@@ -357,8 +404,8 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
             sim.alloc((pbS + tre(pbS)) * esize);
             sim.charge(scan_t(pbS));
           }
-          sim.charge(t_p2p(mach, static_cast<double>((bB + tre(bB)) * esize),
-                           same_node(mach, r, srcB) && same_node(mach, r, dstB)));
+          sim.charge(t_exchange(topo, r, srcB, dstB,
+                                static_cast<double>((bB + tre(bB)) * esize)));
           if (w.abft) {
             sim.charge(scan_t(pbR));
             sim.free((pbS + tre(pbS)) * esize);
@@ -395,12 +442,12 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
             sim.cur = Phase::kShift;
             const i64 mxA = std::max(kb, kb_next) * mb;
             const i64 mxB = std::max(kb, kb_next) * nb;
-            const double tA =
-                t_p2p(mach, static_cast<double>((mxA + tre(mxA)) * esize),
-                      same_node(mach, r, right) && same_node(mach, r, left));
-            const double tB =
-                t_p2p(mach, static_cast<double>((mxB + tre(mxB)) * esize),
-                      same_node(mach, r, down) && same_node(mach, r, up));
+            const double tA = t_exchange(
+                topo, r, right, left,
+                static_cast<double>((mxA + tre(mxA)) * esize));
+            const double tB = t_exchange(
+                topo, r, down, up,
+                static_cast<double>((mxB + tre(mxB)) * esize));
             if (w.abft)
               sim.charge(scan_t(kb * mb) + scan_t(kb_next * mb) +
                          scan_t(kb * nb) + scan_t(kb_next * nb));
@@ -410,13 +457,13 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
           if (aggregate) {
             agg_k += kb;
             if (agg_k >= w.min_kblk || t == s - 1) {
-              sim.compute(mach, gemm_flops(mb, nb, agg_k),
+              sim.compute(rm, gemm_flops(mb, nb, agg_k),
                           step_bytes(agg_k), budget);
               budget = 0;
               agg_k = 0;
             }
           } else {
-            sim.compute(mach, gemm_flops(mb, nb, kb), step_bytes(kb), budget);
+            sim.compute(rm, gemm_flops(mb, nb, kb), step_bytes(kb), budget);
             budget = 0;
           }
         }
@@ -447,7 +494,7 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
           const double tB =
               t_broadcast(ll, static_cast<double>(kb * nb * esize), s);
           sim.charge(tA + tB);
-          sim.compute(mach, gemm_flops(mb, nb, kb), step_bytes(kb),
+          sim.compute(rm, gemm_flops(mb, nb, kb), step_bytes(kb),
                       w.overlap ? tA + tB : 0.0);
         }
         sim.free(panels);
@@ -494,8 +541,19 @@ Prediction predict_ca3dmm(const Workload& w, int P, const Machine& mach,
     if (!co.active) {
       // idle ranks also release their (empty) init buffers
     }
+    {
+      // Mirrors RankStats::load_balance: max compute time over the mean of
+      // ranks that computed anything.
+      const double ct = sim.phase[static_cast<int>(Phase::kCompute)];
+      if (ct > 0) {
+        lb_max = std::max(lb_max, ct);
+        lb_sum += ct;
+        lb_n++;
+      }
+    }
     fold(p, sim);
   }
+  if (lb_n > 0 && lb_sum > 0) p.load_balance = lb_max * lb_n / lb_sum;
   return p;
 }
 
@@ -894,14 +952,22 @@ Prediction predict_p25d(const Workload& w, int P, const Machine& mach) {
 }  // namespace
 
 Prediction predict(Algo algo, const Workload& w, int P, const Machine& mach) {
+  return predict(algo, w, P, Topology::homogeneous(std::max(P, 1), mach));
+}
+
+Prediction predict(Algo algo, const Workload& w, int P, const Topology& topo) {
+  CA_REQUIRE(P >= 1 && P <= topo.nranks(),
+             "predict: P=%d outside [1, %d]", P, topo.nranks());
   switch (algo) {
-    case Algo::kCa3dmm: return predict_ca3dmm(w, P, mach, false);
-    case Algo::kCa3dmmSumma: return predict_ca3dmm(w, P, mach, true);
+    case Algo::kCa3dmm: return predict_ca3dmm(w, P, topo, false);
+    case Algo::kCa3dmmSumma: return predict_ca3dmm(w, P, topo, true);
+    // The baselines stay single-machine models: priced at the anchor machine,
+    // exact for homogeneous topologies (the only ones they execute under).
     case Algo::kCosma:
     case Algo::kCarma:
-    case Algo::kCtf: return predict_cosma_family(w, P, mach, algo);
-    case Algo::kSumma: return predict_summa(w, P, mach);
-    case Algo::kP25d: return predict_p25d(w, P, mach);
+    case Algo::kCtf: return predict_cosma_family(w, P, topo.machine(), algo);
+    case Algo::kSumma: return predict_summa(w, P, topo.machine());
+    case Algo::kP25d: return predict_p25d(w, P, topo.machine());
   }
   CA_ASSERT(false);
   return Prediction{};

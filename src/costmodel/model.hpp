@@ -41,7 +41,11 @@ const char* algo_name(Algo a);
 /// parameter): the tuning database (tuner/db.hpp) stamps this into its file
 /// header and discards entries tuned under a different model, since their
 /// predicted/validated vtimes are no longer comparable.
-inline constexpr int kCostModelVersion = 1;
+// Version 2: exact node-multiset intra-node byte fraction (strided and
+// unevenly placed groups no longer priced by the contiguous (r-1)/(p-1)
+// shortcut), heterogeneous multi-cluster topologies, cross-cluster
+// two-level schedules, weighted k partitioning.
+inline constexpr int kCostModelVersion = 2;
 
 struct Workload {
   i64 m = 0, n = 0, k = 0;
@@ -72,6 +76,10 @@ struct Workload {
   /// executable hit path. kCa3dmm/kCa3dmmSumma only: the other algorithms
   /// have no communicator cache to be warm in.
   bool warm_comms = false;
+  /// Mirrors Ca3dmmOptions::k_weights: per-k-task-group k-split weights for
+  /// heterogeneous topologies. Empty = equal split. kCa3dmm/kCa3dmmSumma
+  /// only.
+  std::vector<double> k_weights{};
 };
 
 struct Prediction {
@@ -81,6 +89,11 @@ struct Prediction {
   double phase_s[static_cast<int>(simmpi::Phase::kCount)] = {};
   i64 peak_bytes = 0;  ///< max over ranks
   double flops_per_rank = 0;
+  /// Compute-phase load balance: max over ranks of compute time divided by
+  /// the mean over ranks that computed anything. 1.0 = perfectly even.
+  /// Mirrors RankStats::load_balance, so hetero-aware plans can be judged
+  /// before running them.
+  double load_balance = 1.0;
 
   /// Modeled inter-node traffic of the schedule-aware collectives
   /// (replication all-gather + partial-C reduce-scatter), bytes per phase.
@@ -109,8 +122,16 @@ struct Prediction {
   }
 };
 
-/// Predicts one multiply of `w` by `algo` on P ranks of `mach`.
+/// Predicts one multiply of `w` by `algo` on P ranks of `mach`
+/// (homogeneous: wraps Topology::homogeneous).
 Prediction predict(Algo algo, const Workload& w, int P,
                    const simmpi::Machine& mach);
+
+/// Topology-aware prediction: per-rank machines, exact node-multiset group
+/// profiles, cross-cluster schedules — the formulas the heterogeneous
+/// engine charges, so the 1e-6 drift gate holds for multi-cluster runs too.
+/// P must not exceed topo.nranks().
+Prediction predict(Algo algo, const Workload& w, int P,
+                   const simmpi::Topology& topo);
 
 }  // namespace ca3dmm::costmodel

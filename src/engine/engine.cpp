@@ -31,6 +31,8 @@ size_t PgemmEngine::PlanKeyHash::operator()(const PlanKey& key) const {
   h = mix(h, std::hash<bool>{}(o.grid.cannon_compatible));
   h = mix(h, std::hash<i64>{}(o.grid.max_memory_elems));
   h = mix(h, std::hash<double>{}(o.grid.flop_word_ratio));
+  h = mix(h, std::hash<size_t>{}(o.k_weights.size()));
+  for (const double wt : o.k_weights) h = mix(h, std::hash<double>{}(wt));
   if (o.force_grid) {
     h = mix(h, std::hash<int>{}(o.force_grid->pm));
     h = mix(h, std::hash<int>{}(o.force_grid->pn));
@@ -101,7 +103,7 @@ const tuner::TuningEntry* PgemmEngine::tuned_entry_locked(
   if (!cfg_.tuning_db) return nullptr;
   if (opt.force_grid || opt.coll || opt.use_summa) return nullptr;
   const auto it = tuned_view_.find(
-      tuner::make_key(m, n, k, world_.size(), world_.machine()));
+      tuner::make_key(m, n, k, world_.size(), world_.topology()));
   if (it == tuned_view_.end() || it->second.stale) return nullptr;
   return &it->second;
 }

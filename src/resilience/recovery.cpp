@@ -9,6 +9,7 @@ namespace ca3dmm::resilience {
 using simmpi::Cluster;
 using simmpi::FaultPlan;
 using simmpi::Machine;
+using simmpi::Topology;
 
 namespace {
 
@@ -18,10 +19,13 @@ namespace {
 /// nodes) are dropped — the fault already fired, or its target no longer
 /// exists; entries that survive keep their trigger points (a kill's at_op
 /// counts the rank's own ops, which restart from zero each attempt).
+/// Straggler entries name PHYSICAL nodes and survive untouched (unless
+/// degraded or empty of survivors): the attempt topology pins survivors to
+/// their original nodes, so a slow node keeps its id across shrinks.
 FaultPlan remap_fault_plan(const FaultPlan& plan,
                            const std::vector<int>& old_to_new,
                            const std::vector<int>& degraded,
-                           const Machine& mach) {
+                           const Topology& next_topo) {
   const int p_old = static_cast<int>(old_to_new.size());
   auto mapped = [&](int r) {
     return r >= 0 && r < p_old ? old_to_new[static_cast<size_t>(r)] : -1;
@@ -40,15 +44,10 @@ FaultPlan remap_fault_plan(const FaultPlan& plan,
     bool dropped = false;
     for (int dn : degraded) dropped = dropped || dn == s.node;
     if (dropped) continue;
-    // A surviving node keeps straggling wherever its ranks land after the
-    // contiguous renumbering: map through the node's first surviving rank.
-    for (int r = 0; r < p_old; ++r) {
-      if (mach.node_of_rank(r) != s.node || old_to_new[static_cast<size_t>(r)] < 0)
-        continue;
-      out.stragglers.push_back(
-          {mach.node_of_rank(old_to_new[static_cast<size_t>(r)]), s.factor});
-      break;
-    }
+    bool populated = false;
+    for (int r = 0; r < next_topo.nranks() && !populated; ++r)
+      populated = next_topo.node_of_rank(r) == s.node;
+    if (populated) out.stragglers.push_back(s);
   }
   return out;
 }
@@ -57,9 +56,12 @@ FaultPlan remap_fault_plan(const FaultPlan& plan,
 
 ResilientRunner::ResilientRunner(int nranks, Machine machine,
                                  RetryPolicy policy)
-    : nranks_(nranks), machine_(machine), policy_(policy) {
-  CA_REQUIRE(nranks >= 1, "ResilientRunner needs at least one rank, got %d",
-             nranks);
+    : ResilientRunner(Topology::homogeneous(nranks, machine), policy) {}
+
+ResilientRunner::ResilientRunner(Topology topo, RetryPolicy policy)
+    : nranks_(topo.nranks()), topo_(std::move(topo)), policy_(policy) {
+  CA_REQUIRE(nranks_ >= 1, "ResilientRunner needs at least one rank, got %d",
+             nranks_);
   CA_REQUIRE(policy.max_attempts >= 1,
              "RetryPolicy::max_attempts must be >= 1, got %d",
              policy.max_attempts);
@@ -75,7 +77,10 @@ RecoveryReport ResilientRunner::run(
 
   for (int attempt = 1;; ++attempt) {
     const int P = static_cast<int>(survivors.size());
-    cluster_ = std::make_unique<Cluster>(P, machine_);
+    // The attempt topology pins survivors to their pre-shrink physical
+    // nodes (and clusters); for attempt 1 this is the full original world.
+    const Topology attempt_topo = topo_.restricted_to(survivors);
+    cluster_ = std::make_unique<Cluster>(attempt_topo);
     cluster_->set_fault_plan(plan);
     cluster_->set_straggler_policy(straggler_);
     cluster_->set_validation(validation_);
@@ -107,7 +112,7 @@ RecoveryReport ResilientRunner::run(
       if (!rec.degraded_nodes.empty()) {
         for (int r = 0; r < P; ++r)
           for (int dn : rec.degraded_nodes)
-            if (machine_.node_of_rank(r) == dn) {
+            if (attempt_topo.node_of_rank(r) == dn) {
               excluded.push_back(r);
               break;
             }
@@ -148,8 +153,9 @@ RecoveryReport ResilientRunner::run(
         old_to_new[static_cast<size_t>(r)] = nn++;
         next.push_back(survivors[static_cast<size_t>(r)]);
       }
-      plan = remap_fault_plan(plan, old_to_new, rec.degraded_nodes, machine_);
       survivors = std::move(next);
+      plan = remap_fault_plan(plan, old_to_new, rec.degraded_nodes,
+                              topo_.restricted_to(survivors));
       report_.backoff_s += policy_.backoff_s;
     }
   }

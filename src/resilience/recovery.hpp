@@ -14,12 +14,16 @@
 // and plan from world.size(), so replanning at the survivor count is
 // automatic (see docs/RESILIENCE.md).
 //
-// Shrinking renumbers survivors contiguously, like MPI_Comm_shrink; the
-// machine model then re-derives node placement from the contiguous order
-// (node_of_rank = r / ranks_per_node), i.e. the shrunk cluster behaves as
-// if re-launched on the surviving ranks. Determinism: all attempt runtimes
-// and the configured backoff are virtual time, so a recovered run's
-// reported latency is reproducible bit for bit.
+// Shrinking renumbers survivors contiguously, like MPI_Comm_shrink, but the
+// *physical* node placement is pinned: each attempt runs on
+// Topology::restricted_to(survivors), which keeps every survivor on the
+// node (and cluster) it occupied before the shrink. Re-deriving placement
+// from the contiguous order (node_of_rank = r / ranks_per_node) would
+// silently migrate survivors onto the dead node's slots — straggler faults,
+// degraded-node attribution, and trace pids would all point at the wrong
+// physical node. Determinism: all attempt runtimes and the configured
+// backoff are virtual time, so a recovered run's reported latency is
+// reproducible bit for bit.
 #pragma once
 
 #include <functional>
@@ -52,7 +56,8 @@ struct AttemptRecord {
   /// Failed ranks in ORIGINAL world numbering (the ranks excluded before
   /// the next attempt). Empty for the successful attempt.
   std::vector<int> failed_world_ranks;
-  /// Nodes (attempt-local numbering) the straggler policy degraded.
+  /// PHYSICAL node ids the straggler policy degraded (stable across
+  /// shrinks: the attempt topology pins survivors to their original nodes).
   std::vector<int> degraded_nodes;
 };
 
@@ -82,7 +87,11 @@ struct RecoveryReport {
 /// full original world).
 class ResilientRunner {
  public:
+  /// Homogeneous world of `nranks` ranks on `machine`.
   ResilientRunner(int nranks, simmpi::Machine machine, RetryPolicy policy = {});
+  /// Explicit (possibly heterogeneous) topology; attempts shrink it with
+  /// Topology::restricted_to, preserving physical node/cluster placement.
+  explicit ResilientRunner(simmpi::Topology topo, RetryPolicy policy = {});
 
   /// Fault plan injected into attempt 1; remapped (kills/flips/stragglers
   /// translated to the shrunk numbering, entries for removed ranks/nodes
@@ -107,7 +116,7 @@ class ResilientRunner {
 
  private:
   int nranks_;
-  simmpi::Machine machine_;
+  simmpi::Topology topo_;  ///< full original world; attempts restrict it
   RetryPolicy policy_;
   simmpi::FaultPlan faults_;
   simmpi::StragglerPolicy straggler_;

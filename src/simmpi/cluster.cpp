@@ -51,11 +51,15 @@ Cluster::Backend Cluster::default_backend() {
 }
 
 Cluster::Cluster(int nranks, Machine machine)
-    : nranks_(nranks),
-      machine_(machine),
-      ctx_(static_cast<size_t>(nranks)),
+    : Cluster(Topology::homogeneous(nranks, machine)) {}
+
+Cluster::Cluster(Topology topo)
+    : nranks_(topo.nranks()),
+      topo_(std::move(topo)),
+      machine_(topo_.machine()),
+      ctx_(static_cast<size_t>(nranks_)),
       backend_(default_backend()) {
-  CA_REQUIRE(nranks >= 1, "Cluster needs at least one rank, got %d", nranks);
+  CA_REQUIRE(nranks_ >= 1, "Cluster needs at least one rank, got %d", nranks_);
 }
 
 Cluster::~Cluster() = default;
@@ -252,11 +256,11 @@ void Cluster::run(const std::function<void(Comm&)>& rank_main) {
   for (int r = 0; r < nranks_; ++r) {
     ctx_[r] = RankCtx{};
     ctx_[r].world_rank = r;
-    ctx_[r].machine = &machine_;
+    ctx_[r].machine = &topo_.machine_of_rank(r);
     ctx_[r].trace_enabled = trace_cfg_.enabled;
     ctx_[r].trace_markers = trace_cfg_.enabled && trace_cfg_.markers;
     for (const FaultPlan::StraggleNode& s : faults_.stragglers)
-      if (s.node == machine_.node_of_rank(r))
+      if (s.node == topo_.node_of_rank(r))
         ctx_[r].slowdown *= s.factor;
   }
   channels_.clear();
@@ -449,6 +453,22 @@ RankStats Cluster::aggregate_stats() const {
     agg.comm_splits += s.comm_splits;
     agg.abft_corrected += s.abft_corrected;
   }
+  // Compute-phase load balance: max over ranks / mean over ranks that did any
+  // compute. 1.0 = perfectly even; > 1 = the slowest rank idles the rest.
+  {
+    double max_c = 0, sum_c = 0;
+    int n_c = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      const double c =
+          ctx_[static_cast<size_t>(r)].stats.phase_s[static_cast<int>(
+              Phase::kCompute)];
+      if (c <= 0) continue;
+      max_c = std::max(max_c, c);
+      sum_c += c;
+      n_c++;
+    }
+    if (n_c > 0 && sum_c > 0) agg.load_balance = max_c * n_c / sum_c;
+  }
   return agg;
 }
 
@@ -460,7 +480,7 @@ std::shared_ptr<CommState> CommState::create(Cluster* cl,
   st->cluster = cl;
   st->members = std::move(members);
   st->id = cl->next_comm_id_++;
-  st->prof = GroupProfile::from_world_ranks(cl->machine_, st->members);
+  st->prof = GroupProfile::from_topology(cl->topo_, st->members);
   st->link = group_link(cl->machine_, st->prof);
   st->cfg = cl->coll_config_;
   st->slots.resize(st->members.size());

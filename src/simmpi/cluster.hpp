@@ -73,6 +73,12 @@ struct RankStats {
   double flops = 0;                                  ///< local flops executed
   i64 peak_bytes = 0;                                ///< peak tracked memory
   i64 cur_bytes = 0;
+  /// Compute-phase load balance: max over ranks of compute time divided by
+  /// the mean over ranks that computed anything. 1.0 = perfectly even; the
+  /// heterogeneity-aware planner's uneven k partitioning drives this toward
+  /// 1 on asymmetric topologies. Filled by aggregate_stats() only (1.0 on
+  /// per-rank stats).
+  double load_balance = 1.0;
   /// Communicator splits this rank took part in. Splits are the setup cost
   /// the engine's communicator cache amortizes, so the engine tests assert
   /// on this counter directly.
@@ -251,7 +257,12 @@ struct ClusterAborted {};
 /// A simulated cluster of `nranks` ranks with a fixed machine model.
 class Cluster {
  public:
+  /// Homogeneous convenience: wraps Topology::homogeneous(nranks, machine).
   Cluster(int nranks, Machine machine);
+  /// Heterogeneous multi-cluster model (or a shrunk survivor topology with
+  /// pinned physical node ids): ranks, machines and the rank -> (cluster,
+  /// node) map all come from `topo`.
+  explicit Cluster(Topology topo);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -271,7 +282,10 @@ class Cluster {
   void run(const std::function<void(Comm&)>& rank_main);
 
   int nranks() const { return nranks_; }
+  /// Anchor machine (cluster 0 of the topology) — the legacy single-machine
+  /// view. Per-rank machines and node placement live in topology().
   const Machine& machine() const { return machine_; }
+  const Topology& topology() const { return topo_; }
 
   /// Scheduler backend for run(): one std::thread per rank (the original
   /// model; caps real runs at a few hundred ranks per box), or rank fibers
@@ -447,7 +461,8 @@ class Cluster {
   std::string wait_for_table_locked() const;
 
   int nranks_;
-  Machine machine_;
+  Topology topo_;
+  Machine machine_;  ///< anchor copy: topo_.machine() (cluster 0)
   std::vector<RankCtx> ctx_;
 
   // One lock for all rendezvous state; the simulator targets correctness and

@@ -1,11 +1,49 @@
 #include "simmpi/coll_cost.hpp"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "common/error.hpp"
 
 namespace ca3dmm::simmpi {
+
+namespace {
+
+/// Exact intra-node byte fraction of a flat schedule from the group's node
+/// multiset: the probability a random ordered pair of distinct group ranks
+/// shares a node. `counts` = ranks per node; `p` = group size.
+template <typename Counts>
+double multiset_intra_frac(const Counts& counts, int p) {
+  if (p <= 1) return 1.0;
+  double same_pairs = 0;
+  for (const auto& [id, cnt] : counts)
+    same_pairs += static_cast<double>(cnt) * (cnt - 1);
+  return same_pairs / (static_cast<double>(p) * (p - 1));
+}
+
+/// Cost-formula machine of a profile: its first cluster's Machine when the
+/// profile is topology-built, else the caller's fallback. Engine and model
+/// both pass the cluster-0 anchor as fallback, so the two layers agree on
+/// every machine-specific knob (rs penalty, alltoallv derating, leader
+/// links) by construction.
+const Machine& anchor_machine(const Machine& fallback, const GroupProfile& g) {
+  return g.parts.empty() ? fallback : *g.parts.front().mach;
+}
+
+/// The contiguous-placement shortcut the pre-fix group_link used; kept only
+/// for hand-built profiles that carry no node multiset.
+double legacy_intra_frac(const GroupProfile& g) {
+  const double r = static_cast<double>(g.max_ranks_per_node);
+  const double p = static_cast<double>(g.size);
+  return (r - 1.0) / (p - 1.0);
+}
+
+double group_intra_frac(const GroupProfile& g) {
+  return g.intra_frac >= 0 ? g.intra_frac : legacy_intra_frac(g);
+}
+
+}  // namespace
 
 GroupProfile GroupProfile::from_world_ranks(const Machine& m,
                                             const std::vector<int>& ranks) {
@@ -19,21 +57,82 @@ GroupProfile GroupProfile::from_world_ranks(const Machine& m,
   for (const auto& [node, cnt] : per_node)
     g.max_ranks_per_node = std::max(g.max_ranks_per_node, cnt);
   g.single_node = (g.nodes == 1);
+  g.intra_frac = multiset_intra_frac(per_node, g.size);
+  return g;
+}
+
+GroupProfile GroupProfile::from_topology(const Topology& topo,
+                                         const std::vector<int>& ranks) {
+  CA_ASSERT(!ranks.empty());
+  GroupProfile g;
+  g.size = static_cast<int>(ranks.size());
+  std::map<int, int> per_node;                  // node id -> ranks
+  std::map<int, std::map<int, int>> per_clu;    // cluster -> node -> ranks
+  for (int r : ranks) {
+    per_node[topo.node_of_rank(r)]++;
+    per_clu[topo.cluster_of_rank(r)][topo.node_of_rank(r)]++;
+  }
+  g.nodes = static_cast<int>(per_node.size());
+  g.max_ranks_per_node = 0;
+  for (const auto& [node, cnt] : per_node)
+    g.max_ranks_per_node = std::max(g.max_ranks_per_node, cnt);
+  g.single_node = (g.nodes == 1);
+  g.intra_frac = multiset_intra_frac(per_node, g.size);
+  g.clusters = static_cast<int>(per_clu.size());
+  g.inter_alpha = topo.link().alpha;
+  g.inter_beta = topo.link().beta();
+  std::map<int, int> clu_sizes;
+  for (const auto& [clu, nodes] : per_clu) {
+    Part pt;
+    pt.cluster = clu;
+    pt.nodes = static_cast<int>(nodes.size());
+    pt.mach = &topo.machine_of_cluster(clu);
+    for (const auto& [node, cnt] : nodes) {
+      pt.size += cnt;
+      pt.max_ranks_per_node = std::max(pt.max_ranks_per_node, cnt);
+    }
+    pt.intra_frac = multiset_intra_frac(nodes, pt.size);
+    clu_sizes[clu] = pt.size;
+    g.parts.push_back(pt);
+  }
+  g.cluster_frac = multiset_intra_frac(clu_sizes, g.size);
   return g;
 }
 
 LinkParams group_link(const Machine& m, const GroupProfile& g) {
-  const double beta_intra = 1.0 / m.intra_rank_bandwidth();
+  const Machine& am = anchor_machine(m, g);
+  if (g.clusters > 1) {
+    // Three-tier mix for a flat schedule spanning clusters: traffic splits
+    // into same-node / same-cluster-cross-node / cross-cluster fractions
+    // (pair-counting, like intra_frac); the node and cluster tiers use
+    // rank-weighted averages of the member clusters' machine parameters.
+    const double p = static_cast<double>(g.size);
+    double a_node = 0, b_node = 0, a_clu = 0, b_clu = 0;
+    for (const GroupProfile::Part& pt : g.parts) {
+      const double w = static_cast<double>(pt.size) / p;
+      a_node += w * pt.mach->alpha_intra;
+      b_node += w / pt.mach->intra_rank_bandwidth();
+      a_clu += w * pt.mach->alpha_inter;
+      b_clu += w / pt.mach->inter_rank_bandwidth();
+    }
+    const double f_node = g.intra_frac;
+    const double f_x = 1.0 - g.cluster_frac;
+    const double f_clu = std::max(0.0, g.cluster_frac - g.intra_frac);
+    LinkParams l;
+    l.alpha = f_node * a_node + f_clu * a_clu + f_x * g.inter_alpha;
+    l.beta = f_node * b_node + f_clu * b_clu + f_x * g.inter_beta;
+    return l;
+  }
+  const double beta_intra = 1.0 / am.intra_rank_bandwidth();
   if (g.single_node || g.size <= 1)
-    return LinkParams{m.alpha_intra, beta_intra};
-  const double beta_inter = 1.0 / m.inter_rank_bandwidth();
-  // Fraction of butterfly traffic that stays inside a node when r of the
-  // group's ranks share each node: (r-1)/(p-1).
-  const double r = static_cast<double>(g.max_ranks_per_node);
-  const double p = static_cast<double>(g.size);
-  const double intra_frac = (r - 1.0) / (p - 1.0);
+    return LinkParams{am.alpha_intra, beta_intra};
+  const double beta_inter = 1.0 / am.inter_rank_bandwidth();
+  // Intra-node byte fraction: the exact node-multiset value when the
+  // profile carries one, the contiguous-placement (r-1)/(p-1) shortcut for
+  // hand-built profiles.
+  const double intra_frac = group_intra_frac(g);
   LinkParams l;
-  l.alpha = intra_frac * m.alpha_intra + (1.0 - intra_frac) * m.alpha_inter;
+  l.alpha = intra_frac * am.alpha_intra + (1.0 - intra_frac) * am.alpha_inter;
   l.beta = intra_frac * beta_intra + (1.0 - intra_frac) * beta_inter;
   return l;
 }
@@ -95,6 +194,7 @@ const char* coll_algo_name(CollAlgo a) {
     case CollAlgo::kRing: return "ring";
     case CollAlgo::kRecursive: return "recursive";
     case CollAlgo::kHierarchical: return "hierarchical";
+    case CollAlgo::kCrossCluster: return "cross-cluster";
     case CollAlgo::kAuto: return "auto";
   }
   return "?";
@@ -102,9 +202,7 @@ const char* coll_algo_name(CollAlgo a) {
 
 double group_inter_frac(const GroupProfile& g) {
   if (g.single_node || g.size <= 1) return 0.0;
-  const double r = static_cast<double>(g.max_ranks_per_node);
-  const double p = static_cast<double>(g.size);
-  return 1.0 - (r - 1.0) / (p - 1.0);
+  return 1.0 - group_intra_frac(g);
 }
 
 namespace {
@@ -137,11 +235,44 @@ double t_scatter(const LinkParams& l, double bytes, int p) {
   return l.alpha * log2d(p) + l.beta * bytes * (p - 1) / p;
 }
 
+/// Effective link inside one cluster part: the part's machine parameters
+/// mixed by the part's own node multiset fraction (the same rule group_link
+/// applies to whole single-cluster groups).
+LinkParams part_link(const GroupProfile::Part& pt) {
+  const Machine& m = *pt.mach;
+  const double beta_intra = 1.0 / m.intra_rank_bandwidth();
+  if (pt.nodes <= 1 || pt.size <= 1)
+    return LinkParams{m.alpha_intra, beta_intra};
+  const double beta_inter = 1.0 / m.inter_rank_bandwidth();
+  const double f = pt.intra_frac;
+  return LinkParams{f * m.alpha_intra + (1.0 - f) * m.alpha_inter,
+                    f * beta_intra + (1.0 - f) * beta_inter};
+}
+
+/// The inter-cluster leader link of a spanning group.
+LinkParams cross_link(const GroupProfile& g) {
+  return LinkParams{g.inter_alpha, g.inter_beta};
+}
+
+/// Does the cross-cluster two-level schedule apply?
+bool cross_cluster_applies(const GroupProfile& g) {
+  return g.clusters > 1 && g.size > 1;
+}
+
 }  // namespace
 
 CollAlgo resolve_coll_algo(CollAlgo configured, const GroupProfile& g,
                            double bytes, i64 small_message_bytes) {
   CollAlgo a = configured;
+  // A group spanning clusters has no single fabric a flat hierarchical
+  // schedule could assume; kAuto and both two-level schedules route to the
+  // cross-cluster plan (explicit flat schedules keep their formulas, priced
+  // on the three-tier mixed link).
+  if (cross_cluster_applies(g) &&
+      (a == CollAlgo::kAuto || a == CollAlgo::kHierarchical ||
+       a == CollAlgo::kCrossCluster))
+    return CollAlgo::kCrossCluster;
+  if (a == CollAlgo::kCrossCluster) a = CollAlgo::kAuto;  // single cluster
   if (a == CollAlgo::kAuto) {
     if (hierarchy_applies(g))
       a = CollAlgo::kHierarchical;
@@ -183,13 +314,31 @@ CollCost coll_allgather_cost(const Machine& m, const GroupProfile& g,
     case CollAlgo::kHierarchical: {
       // Gather within each node, allgather the per-node aggregates across
       // the N leaders, broadcast the remote part back inside each node.
+      const Machine& am = anchor_machine(m, g);
       const int N = g.nodes;
       const int r = g.max_ranks_per_node;
-      const LinkParams li = intra_link(m);
+      const LinkParams li = intra_link(am);
       c.t = t_allgather(li, bytes / N, r) +
-            t_allgather(leader_link(m), bytes, N) +
+            t_allgather(leader_link(am), bytes, N) +
             t_broadcast(li, bytes * (N - 1) / N, r);
       c.inter_bytes = bytes * (N - 1);  // each node's share crosses once
+      break;
+    }
+    case CollAlgo::kCrossCluster: {
+      // Intra-cluster gather of each cluster's share (each part priced on
+      // its own machine), allgather of the aggregates over one leader per
+      // cluster on the inter-cluster link, then each cluster broadcasts
+      // the remote part internally. The slowest cluster gates each phase.
+      double t_in = 0, t_out = 0, part_inter = 0;
+      for (const GroupProfile::Part& pt : g.parts) {
+        const LinkParams lp = part_link(pt);
+        const double share = bytes * pt.size / p;
+        t_in = std::max(t_in, t_allgather(lp, share, pt.size));
+        t_out = std::max(t_out, t_broadcast(lp, bytes - share, pt.size));
+        part_inter += share * (pt.nodes - 1);
+      }
+      c.t = t_in + t_allgather(cross_link(g), bytes, g.clusters) + t_out;
+      c.inter_bytes = bytes * (g.clusters - 1) + part_inter;
       break;
     }
     case CollAlgo::kAuto:
@@ -205,10 +354,11 @@ CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
   c.algo = coll_algo_name(a);
   c.bytes = bytes;
   if (p <= 1) return c;
+  const Machine& am = anchor_machine(m, g);
   switch (a) {
     case CollAlgo::kPaperButterfly:
       c.t = custom_tree ? t_reduce_scatter(l, bytes, p)
-                        : t_reduce_scatter_machine(m, l, bytes, p);
+                        : t_reduce_scatter_machine(am, l, bytes, p);
       c.inter_bytes = bytes * (p - 1) * group_inter_frac(g);
       return c;
     case CollAlgo::kRing:
@@ -227,11 +377,27 @@ CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
       // across the N leaders, scatter each node's slice back to its ranks.
       const int N = g.nodes;
       const int r = g.max_ranks_per_node;
-      const LinkParams li = intra_link(m);
+      const LinkParams li = intra_link(am);
       c.t = t_reduce_scatter(li, bytes, r) +
-            t_reduce_scatter(leader_link(m), bytes, N) +
+            t_reduce_scatter(leader_link(am), bytes, N) +
             t_scatter(li, bytes / N, r);
       c.inter_bytes = bytes * (N - 1);
+      break;
+    }
+    case CollAlgo::kCrossCluster: {
+      // Each cluster reduce-scatters the full vector among its ranks, the
+      // cluster leaders reduce-scatter the partials over the inter-cluster
+      // link, then each leader scatters its cluster's final slice.
+      double t_in = 0, t_out = 0, part_inter = 0;
+      for (const GroupProfile::Part& pt : g.parts) {
+        const LinkParams lp = part_link(pt);
+        const double share = bytes * pt.size / p;
+        t_in = std::max(t_in, t_reduce_scatter(lp, bytes, pt.size));
+        t_out = std::max(t_out, t_scatter(lp, share, pt.size));
+        part_inter += share * (pt.nodes - 1);
+      }
+      c.t = t_in + t_reduce_scatter(cross_link(g), bytes, g.clusters) + t_out;
+      c.inter_bytes = bytes * (g.clusters - 1) + part_inter;
       break;
     }
     case CollAlgo::kAuto:
@@ -239,8 +405,8 @@ CollCost coll_reduce_scatter_cost(const Machine& m, const GroupProfile& g,
   }
   // Library-implemented schedules still hit the machine's large-message
   // degradation; application trees (custom_tree) bypass it.
-  if (!custom_tree && bytes / p > m.rs_penalty_threshold_bytes)
-    c.t *= m.rs_penalty_factor;
+  if (!custom_tree && bytes / p > am.rs_penalty_threshold_bytes)
+    c.t *= am.rs_penalty_factor;
   return c;
 }
 
@@ -268,11 +434,23 @@ CollCost coll_bcast_cost(const Machine& m, const GroupProfile& g,
       c.inter_bytes = bytes * log2d(p) * group_inter_frac(g);
       break;
     case CollAlgo::kHierarchical: {
+      const Machine& am = anchor_machine(m, g);
       const int N = g.nodes;
       const int r = g.max_ranks_per_node;
-      c.t = t_broadcast(leader_link(m), bytes, N) +
-            t_broadcast(intra_link(m), bytes, r);
+      c.t = t_broadcast(leader_link(am), bytes, N) +
+            t_broadcast(intra_link(am), bytes, r);
       c.inter_bytes = 2.0 * bytes * (N - 1);
+      break;
+    }
+    case CollAlgo::kCrossCluster: {
+      // Broadcast across the cluster leaders, then inside every cluster.
+      double t_in = 0, part_inter = 0;
+      for (const GroupProfile::Part& pt : g.parts) {
+        t_in = std::max(t_in, t_broadcast(part_link(pt), bytes, pt.size));
+        part_inter += 2.0 * bytes * (pt.nodes - 1) * pt.size / p;
+      }
+      c.t = t_broadcast(cross_link(g), bytes, g.clusters) + t_in;
+      c.inter_bytes = 2.0 * bytes * (g.clusters - 1) + part_inter;
       break;
     }
     case CollAlgo::kAuto:
@@ -305,11 +483,11 @@ CollCost coll_allreduce_cost(const Machine& m, const GroupProfile& g,
       c.inter_bytes = 2.0 * bytes * (q - 1) / q * p * group_inter_frac(g);
       break;
     }
-    case CollAlgo::kHierarchical: {
-      const CollCost rs = coll_reduce_scatter_cost(
-          m, g, l, CollAlgo::kHierarchical, bytes, p, /*custom_tree=*/true);
-      const CollCost ag =
-          coll_allgather_cost(m, g, l, CollAlgo::kHierarchical, bytes, p);
+    case CollAlgo::kHierarchical:
+    case CollAlgo::kCrossCluster: {
+      const CollCost rs =
+          coll_reduce_scatter_cost(m, g, l, a, bytes, p, /*custom_tree=*/true);
+      const CollCost ag = coll_allgather_cost(m, g, l, a, bytes, p);
       c.t = rs.t + ag.t;
       c.inter_bytes = rs.inter_bytes + ag.inter_bytes;
       break;

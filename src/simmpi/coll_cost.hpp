@@ -14,9 +14,25 @@
 // A process group spanning several nodes sees a mix of intra-node and
 // inter-node links. GroupProfile summarizes the composition of a group; the
 // effective alpha/beta are the intra/inter parameters mixed by the fraction
-// of traffic that stays inside a node. For a butterfly schedule over
-// contiguously placed ranks this byte fraction is (r-1)/(p-1) for r group
-// ranks per node.
+// of traffic that stays inside a node. For a flat schedule over a group
+// whose peer pairings are placement-oblivious (butterfly rounds pair every
+// rank with every distance class), the expected intra-node byte fraction is
+// the probability that a uniformly random ordered pair of distinct group
+// ranks shares a node:
+//
+//   intra_frac = sum_nodes c_n (c_n - 1) / (p (p - 1))
+//
+// where c_n ranks of the group live on node n. For a group placed as r full
+// nodes' worth of contiguous ranks this reduces to the classical (r-1)/(p-1),
+// but unlike that shortcut it stays correct for strided and unevenly placed
+// groups (e.g. CA3DMM's replication splits, which stride by s^2), which the
+// shortcut systematically undercharges for inter-node traffic.
+//
+// Groups spanning several *clusters* of a heterogeneous Topology
+// (topology.hpp) additionally record a per-cluster decomposition; the
+// cross-cluster two-level schedule (CollAlgo::kCrossCluster) prices them as
+// intra-cluster phases plus an inter-cluster leader exchange, mirroring
+// FlagCX's hybrid runner.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +40,7 @@
 
 #include "common/partition.hpp"
 #include "simmpi/machine.hpp"
+#include "simmpi/topology.hpp"
 
 namespace ca3dmm::simmpi {
 
@@ -33,9 +50,42 @@ struct GroupProfile {
   int nodes = 1;           ///< number of distinct nodes the group touches
   int max_ranks_per_node = 1;
   bool single_node = true;
+  /// Exact intra-node byte fraction from the group's node multiset (see the
+  /// header comment). Negative = unknown (hand-built profiles); group_link
+  /// then falls back to the contiguous-placement (r-1)/(p-1) shortcut.
+  double intra_frac = -1.0;
+
+  /// The group's footprint on one cluster of a Topology. `mach` aliases the
+  /// Topology the profile was built from — keep that Topology alive for the
+  /// profile's lifetime (Cluster owns its copy; the cost model's Topology
+  /// outlives every predict call).
+  struct Part {
+    int cluster = 0;
+    int size = 0;
+    int nodes = 1;
+    int max_ranks_per_node = 1;
+    double intra_frac = 1.0;  ///< node multiset fraction within the part
+    const Machine* mach = nullptr;
+  };
+  /// Per-cluster decomposition, ordered by cluster id. Empty for profiles
+  /// built from a bare Machine (from_world_ranks) or by hand.
+  std::vector<Part> parts;
+  int clusters = 1;          ///< distinct clusters the group touches
+  /// Fraction of a flat schedule's traffic that stays within one cluster
+  /// (same pair-counting rule as intra_frac, applied to the cluster
+  /// multiset). 1 for single-cluster groups.
+  double cluster_frac = 1.0;
+  /// Inter-cluster link parameters (valid when clusters > 1).
+  double inter_alpha = 0;
+  double inter_beta = 0;
 
   static GroupProfile from_world_ranks(const Machine& m,
                                        const std::vector<int>& world_ranks);
+  /// Topology-aware profile: exact node multiset fraction, per-cluster
+  /// parts, inter-cluster link. For a single-cluster Topology the resulting
+  /// costs match from_world_ranks on the same placement.
+  static GroupProfile from_topology(const Topology& topo,
+                                    const std::vector<int>& world_ranks);
 };
 
 /// Effective per-rank latency/inverse-bandwidth of a group's links.
@@ -47,9 +97,10 @@ struct LinkParams {
 /// Mixes intra/inter-node parameters according to the group composition.
 LinkParams group_link(const Machine& m, const GroupProfile& g);
 
-/// Fraction of a flat schedule's traffic that crosses node boundaries:
-/// 1 - (r-1)/(p-1), the complement of group_link's intra-node mixing
-/// fraction (0 for single-node groups).
+/// Fraction of a flat schedule's traffic that crosses node boundaries: the
+/// complement of the group's intra-node byte fraction (the exact multiset
+/// value when the profile carries one, the (r-1)/(p-1) shortcut otherwise;
+/// 0 for single-node groups).
 double group_inter_frac(const GroupProfile& g);
 
 /// Point-to-point message cost; `same_node` selects the link class.
@@ -92,10 +143,17 @@ enum class CollAlgo {
   /// crosses its NIC once instead of once per rank. Falls back to the paper
   /// butterfly when the group sits on one node or has one rank per node.
   kHierarchical,
-  /// Per-call selection by message size and group composition: multi-node
-  /// groups with >1 rank per node use kHierarchical; otherwise messages
-  /// below `CollectiveConfig::small_message_bytes` use kRecursive
-  /// (latency-bound regime) and larger ones the paper butterfly.
+  /// Two-level *cross-cluster* schedule (the FlagCX hybrid-runner model):
+  /// an intra-cluster phase per cluster the group touches — each priced
+  /// with that cluster's own machine parameters — joined by an exchange
+  /// over one leader per cluster on the inter-cluster link. Groups
+  /// confined to one cluster downgrade to kHierarchical/kPaperButterfly.
+  kCrossCluster,
+  /// Per-call selection by message size and group composition: groups
+  /// spanning clusters use kCrossCluster; multi-node groups with >1 rank
+  /// per node use kHierarchical; otherwise messages below
+  /// `CollectiveConfig::small_message_bytes` use kRecursive (latency-bound
+  /// regime) and larger ones the paper butterfly.
   kAuto,
 };
 
@@ -146,9 +204,11 @@ struct CollCost {
   double bytes = 0;
 };
 
-/// The schedule actually used for a call: resolves kAuto by message size /
-/// composition and downgrades kHierarchical to the butterfly when the
-/// group has no two-level structure (single node, or one rank per node).
+/// The schedule actually used for a call: groups spanning clusters resolve
+/// kAuto/kHierarchical to kCrossCluster; otherwise kAuto picks by message
+/// size / composition, kHierarchical downgrades to the butterfly when the
+/// group has no two-level structure (single node, or one rank per node),
+/// and kCrossCluster downgrades the same way as kAuto.
 CollAlgo resolve_coll_algo(CollAlgo configured, const GroupProfile& g,
                            double bytes, i64 small_message_bytes);
 

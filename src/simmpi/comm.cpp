@@ -239,12 +239,12 @@ void run_collective(CommState& st, int me, CommState::Op op, CollIo io,
       // same way a validation failure would — raised on every member.
       const StragglerPolicy& sp = st.straggler_policy();
       if (sp.enabled && p >= 2) {
-        const Machine& mach = st.machine();
+        const Topology& topo = st.topology();
         const int crit_world = st.members[static_cast<size_t>(crit)];
-        const int crit_node = mach.node_of_rank(crit_world);
+        const int crit_node = topo.node_of_rank(crit_world);
         double t_other = -1.0;
         for (int j = 0; j < p; ++j) {
-          if (mach.node_of_rank(st.members[static_cast<size_t>(j)]) ==
+          if (topo.node_of_rank(st.members[static_cast<size_t>(j)]) ==
               crit_node)
             continue;
           t_other =
@@ -411,11 +411,19 @@ int Comm::world_rank_of(int r) const {
 }
 
 bool Comm::same_node(int other) const {
-  const Machine& m = machine();
-  return m.node_of_rank(world_rank()) == m.node_of_rank(world_rank_of(other));
+  const Topology& t = state_->topology();
+  return t.node_of_rank(world_rank()) == t.node_of_rank(world_rank_of(other));
 }
 
 const Machine& Comm::machine() const { return state_->cluster->machine_; }
+
+const Machine& Comm::my_machine() const {
+  if (RankCtx* ctx = current_ctx(); ctx != nullptr && ctx->machine != nullptr)
+    return *ctx->machine;
+  return machine();
+}
+
+const Topology& Comm::topology() const { return state_->topology(); }
 
 Cluster* Comm::cluster() const { return state_ ? state_->cluster : nullptr; }
 
@@ -448,7 +456,7 @@ void trace_compute(RankCtx* ctx, double adv, double flops) {
 
 void Comm::charge_compute(double flops, double bytes) {
   RankCtx* ctx = current_ctx();
-  const double t = machine().gemm_time(flops, bytes) * ctx->slowdown;
+  const double t = my_machine().gemm_time(flops, bytes) * ctx->slowdown;
   ctx->stats.flops += flops;
   ctx->stats.phase_s[static_cast<int>(Phase::kCompute)] += t;
   trace_compute(ctx, t, flops);
@@ -466,8 +474,9 @@ void Comm::charge_compute_overlap_budget(double flops, double bytes,
   // local matrix multiplications" (§IV-C) — no communication/computation
   // pipelining on the device path. On CPU, only a fraction of the in-flight
   // communication actually hides behind the GEMM.
-  budget = machine().use_gpu ? 0.0 : budget * machine().overlap_efficiency;
-  const double t = machine().gemm_time(flops, bytes) * ctx->slowdown;
+  const Machine& mach = my_machine();
+  budget = mach.use_gpu ? 0.0 : budget * mach.overlap_efficiency;
+  const double t = mach.gemm_time(flops, bytes) * ctx->slowdown;
   ctx->stats.flops += flops;
   // The full GEMM time is reported in the compute phase; the clock only
   // advances by the part that does not hide behind the in-flight
@@ -482,7 +491,7 @@ void Comm::charge_local_work(double bytes) {
   if (bytes <= 0) return;
   RankCtx* ctx = current_ctx();
   const double t =
-      bytes / machine().intra_rank_bandwidth() * ctx->slowdown;
+      bytes / my_machine().intra_rank_bandwidth() * ctx->slowdown;
   if (ctx->trace_enabled) {
     TraceRecord r;
     r.kind = TraceKind::kCompute;
@@ -906,10 +915,9 @@ bool Cluster::try_deliver_posted_locked(const detail::ChannelKey& key,
   maybe_flip_payload_locked(key, rec->buf, bytes);
   // The receiver's exit time, computed exactly as its staged path would:
   // its own slowdown, max of the two entry clocks plus the p2p cost.
-  const bool same =
-      machine_.node_of_rank(key.src) == machine_.node_of_rank(key.dst);
   const double t =
-      t_p2p(machine_, static_cast<double>(bytes), same) * rec->slowdown;
+      t_p2p_ranks(topo_, key.src, key.dst, static_cast<double>(bytes)) *
+      rec->slowdown;
   rec->t_exit = std::max(rec->t_entry, t_entry) + t;
   rec->sender_entry = t_entry;
   rec->filled = true;
@@ -962,10 +970,9 @@ void Comm::send_bytes(const void* buf, i64 bytes, int dst, int tag) {
       cl->wake_key_locked(detail::WaitKey::chan(key));
     }
   }
-  const bool same =
-      machine().node_of_rank(world_rank()) == machine().node_of_rank(dst_w);
-  const double t =
-      t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
+  const double t = t_p2p_ranks(state_->topology(), world_rank(), dst_w,
+                               static_cast<double>(bytes)) *
+                   ctx->slowdown;
   ctx->last_op_cost = t;
   if (ctx->trace_enabled) {
     TraceRecord r;
@@ -1060,10 +1067,9 @@ void Comm::recv_impl(void* buf, i64 bytes, int src, int tag) {
       cl->channels_[key].pop_front();
       if (bytes > 0) std::memmove(buf, rec->buf, static_cast<size_t>(bytes));
       cl->maybe_flip_payload_locked(key, buf, bytes);
-      const bool same =
-          machine().node_of_rank(key.src) == machine().node_of_rank(key.dst);
-      const double t =
-          t_p2p(machine(), static_cast<double>(bytes), same) * ctx->slowdown;
+      const double t = t_p2p_ranks(state_->topology(), key.src, key.dst,
+                                   static_cast<double>(bytes)) *
+                       ctx->slowdown;
       exit = std::max(entry, rec->t_entry) + t;
       sender_entry = rec->t_entry;
       if (rec->eager) {

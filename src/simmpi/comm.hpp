@@ -42,7 +42,15 @@ class Comm {
   int world_rank_of(int r) const;
   int world_rank() const { return world_rank_of(rank()); }
   bool same_node(int other) const;
+  /// The cluster's anchor machine (cluster 0 of the topology). Collective
+  /// formulas key off this plus the group profile; per-rank compute rates
+  /// come from my_machine().
   const Machine& machine() const;
+  /// The machine of the *calling rank's* node — differs from machine() on a
+  /// heterogeneous Topology. Only meaningful from within rank code.
+  const Machine& my_machine() const;
+  /// The topology of the underlying cluster (rank -> cluster/node map).
+  const Topology& topology() const;
   const GroupProfile& profile() const;
   /// The cluster this communicator belongs to (null for invalid comms).
   /// Long-lived components that rank code constructs — e.g. the engine's

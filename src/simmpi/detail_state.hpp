@@ -153,6 +153,7 @@ struct CommState {
   }
   void note_degraded(int node) const { cluster->note_degraded_locked(node); }
   const Machine& machine() const { return cluster->machine_; }
+  const Topology& topology() const { return cluster->topo_; }
 
   static std::shared_ptr<CommState> create(Cluster* cl,
                                            std::vector<int> members);

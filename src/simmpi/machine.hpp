@@ -90,7 +90,12 @@ struct Machine {
   double rs_penalty_factor = 1.8;
 
   /// Simulated node id of a world rank (contiguous rank placement, matching
-  /// the paper's "column-major" process organization).
+  /// the paper's "column-major" process organization). Only valid for the
+  /// homogeneous, never-shrunk model: heterogeneous clusters and
+  /// shrink-and-replan survivors need the explicit rank -> (cluster, node)
+  /// map of Topology (topology.hpp), which is what the engine threads
+  /// through Cluster/Comm/GroupProfile. This stays as the seed of
+  /// Topology::homogeneous and for hand-built unit-test profiles.
   int node_of_rank(int world_rank) const { return world_rank / ranks_per_node; }
 
   /// Time for one local GEMM of `flops` floating point operations that

@@ -56,10 +56,13 @@ void write_chrome_trace_file(const Cluster& cl, const std::string& path) {
              "write_chrome_trace_file needs set_trace(true) before run()");
   std::FILE* f = std::fopen(path.c_str(), "w");
   CA_REQUIRE(f != nullptr, "cannot open trace file %s", path.c_str());
-  const Machine& m = cl.machine();
+  const Topology& topo = cl.topology();
   std::string out = "[\n";
-  // Metadata: one process per simulated node, one thread per rank.
-  for (int node = 0; node <= m.node_of_rank(cl.nranks() - 1); ++node)
+  // Metadata: one process per simulated node, one thread per rank. Node ids
+  // are the topology's *physical* ids — possibly non-contiguous after a
+  // shrink-and-replan — so events of a survivor rank stay attributed to the
+  // node it actually runs on.
+  for (const int node : topo.node_ids())
     out += strprintf(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
         "\"args\":{\"name\":\"node %d\"}},\n",
@@ -68,10 +71,10 @@ void write_chrome_trace_file(const Cluster& cl, const std::string& path) {
     out += strprintf(
         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
         "\"args\":{\"name\":\"rank %d\"}},\n",
-        m.node_of_rank(r), r, r);
+        topo.node_of_rank(r), r, r);
   bool first = true;
   for (int rank = 0; rank < cl.nranks(); ++rank) {
-    const int pid = m.node_of_rank(rank);
+    const int pid = topo.node_of_rank(rank);
     for (const TraceRecord& r : cl.trace(rank)) {
       if (!first) out += ",\n";
       first = false;

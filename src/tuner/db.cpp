@@ -42,12 +42,20 @@ TuningKey make_key(i64 m, i64 n, i64 k, int nranks,
   return key;
 }
 
+TuningKey make_key(i64 m, i64 n, i64 k, int nranks,
+                   const simmpi::Topology& topo) {
+  TuningKey key = make_key(m, n, k, nranks, topo.machine());
+  key.topo = topo.signature();
+  return key;
+}
+
 const char* coll_algo_token(CollAlgo a) {
   switch (a) {
     case CollAlgo::kPaperButterfly: return "bf";
     case CollAlgo::kRing: return "ring";
     case CollAlgo::kRecursive: return "rec";
     case CollAlgo::kHierarchical: return "hier";
+    case CollAlgo::kCrossCluster: return "xc";
     case CollAlgo::kAuto: return "auto";
   }
   return "?";
@@ -58,7 +66,7 @@ namespace {
 bool parse_coll_algo(const char* tok, CollAlgo* out) {
   for (CollAlgo a :
        {CollAlgo::kPaperButterfly, CollAlgo::kRing, CollAlgo::kRecursive,
-        CollAlgo::kHierarchical, CollAlgo::kAuto}) {
+        CollAlgo::kHierarchical, CollAlgo::kCrossCluster, CollAlgo::kAuto}) {
     if (std::strcmp(tok, coll_algo_token(a)) == 0) {
       *out = a;
       return true;
@@ -188,11 +196,12 @@ std::string TuningDb::serialize() const {
   out += strprintf("entries %zu\n", es.size());
   for (const TuningEntry& e : es) {
     out += strprintf(
-        "%d %d %d %d %d %d rep %lld %lld %lld grid %d %d %d "
+        "%d %d %d %d %d %d topo %llu rep %lld %lld %lld grid %d %d %d "
         "coll %s %s %s %s %lld ov %d pred %.17g valid %.17g base %.17g "
         "pruned %lld validated %lld stale %d\n",
         e.key.qm, e.key.qn, e.key.qk, e.key.nranks, e.key.ranks_per_node,
-        e.key.gpu ? 1 : 0, static_cast<long long>(e.rep_m),
+        e.key.gpu ? 1 : 0, static_cast<unsigned long long>(e.key.topo),
+        static_cast<long long>(e.rep_m),
         static_cast<long long>(e.rep_n), static_cast<long long>(e.rep_k),
         e.config.grid.pm, e.config.grid.pn, e.config.grid.pk,
         coll_algo_token(e.config.coll.allgather),
@@ -247,17 +256,18 @@ bool TuningDb::deserialize(const std::string& blob, const char* warn) {
     TuningEntry e;
     char ag[16], rs[16], bc[16], ar[16];
     long long rm, rn, rk, smb, pruned, validated;
+    unsigned long long topo;
     int gpu, ov, stale;
     const int got = std::sscanf(
         line.c_str(),
-        "%d %d %d %d %d %d rep %lld %lld %lld grid %d %d %d "
+        "%d %d %d %d %d %d topo %llu rep %lld %lld %lld grid %d %d %d "
         "coll %15s %15s %15s %15s %lld ov %d pred %lg valid %lg base %lg "
         "pruned %lld validated %lld stale %d",
         &e.key.qm, &e.key.qn, &e.key.qk, &e.key.nranks, &e.key.ranks_per_node,
-        &gpu, &rm, &rn, &rk, &e.config.grid.pm, &e.config.grid.pn,
+        &gpu, &topo, &rm, &rn, &rk, &e.config.grid.pm, &e.config.grid.pn,
         &e.config.grid.pk, ag, rs, bc, ar, &smb, &ov, &e.predicted_s,
         &e.validated_s, &e.baseline_s, &pruned, &validated, &stale);
-    if (got != 24 || !parse_coll_algo(ag, &e.config.coll.allgather) ||
+    if (got != 25 || !parse_coll_algo(ag, &e.config.coll.allgather) ||
         !parse_coll_algo(rs, &e.config.coll.reduce_scatter) ||
         !parse_coll_algo(bc, &e.config.coll.bcast) ||
         !parse_coll_algo(ar, &e.config.coll.allreduce)) {
@@ -266,6 +276,7 @@ bool TuningDb::deserialize(const std::string& blob, const char* warn) {
       return false;
     }
     e.key.gpu = gpu != 0;
+    e.key.topo = topo;
     e.rep_m = rm;
     e.rep_n = rn;
     e.rep_k = rk;

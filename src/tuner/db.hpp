@@ -29,6 +29,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -39,6 +40,7 @@
 #include "core/grid_solver.hpp"
 #include "simmpi/coll_cost.hpp"
 #include "simmpi/machine.hpp"
+#include "simmpi/topology.hpp"
 
 namespace ca3dmm::tuner {
 
@@ -61,9 +63,13 @@ struct TuningKey {
   int nranks = 0;
   int ranks_per_node = 0;
   bool gpu = false;
+  /// Topology::signature() of the multi-cluster layout; 0 for any topology
+  /// indistinguishable from the legacy single-machine model, so v1-era keys
+  /// and homogeneous runs keep colliding (sharing entries) as before.
+  std::uint64_t topo = 0;
 
   auto tie() const {
-    return std::tie(qm, qn, qk, nranks, ranks_per_node, gpu);
+    return std::tie(qm, qn, qk, nranks, ranks_per_node, gpu, topo);
   }
   friend bool operator<(const TuningKey& a, const TuningKey& b) {
     return a.tie() < b.tie();
@@ -80,6 +86,11 @@ bool bucket_matches(int q, i64 d);
 
 TuningKey make_key(i64 m, i64 n, i64 k, int nranks,
                    const simmpi::Machine& mach);
+/// Topology-aware key: same shape buckets, anchor-machine node fields, plus
+/// the topology signature so decisions never transfer across cluster
+/// layouts (a grid tuned for 8 CPU + 8 GPU is wrong for 16 CPU).
+TuningKey make_key(i64 m, i64 n, i64 k, int nranks,
+                   const simmpi::Topology& topo);
 
 /// One tuned decision plus the evidence behind it.
 struct TuningEntry {
@@ -164,7 +175,8 @@ class TuningDb {
   bool save(const std::string& path) const;
   const std::string& path() const { return path_; }
 
-  static constexpr int kSchemaVersion = 1;
+  // Version 2: TuningKey carries the topology signature.
+  static constexpr int kSchemaVersion = 2;
 
  private:
   void fire(const TuningEntry& entry);  ///< call without holding mu_
